@@ -1,0 +1,203 @@
+// Package cloudskulk is a full reproduction of "CloudSkulk: A Nested
+// Virtual Machine Based Rootkit and Its Detection" (DSN 2021) as a
+// deterministic simulation library.
+//
+// The package re-exports the project's building blocks behind one import:
+//
+//   - a simulated QEMU/KVM cloud host (nested virtualization, live
+//     migration, KSM memory deduplication, QEMU monitor protocol);
+//   - the CloudSkulk rootkit: recon, the four-step nested-VM install, and
+//     its passive/active malicious services;
+//   - the paper's defence (memory-deduplication write-timing detection)
+//     plus the VMCS-scan and VMI-fingerprint baselines it discusses;
+//   - an experiment harness reproducing every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	cloud, err := cloudskulk.NewCloud(1, 1024)      // seeded testbed, 1 GiB victim
+//	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+//	cloud.Host.KSM().Start()
+//	det := cloudskulk.NewDedupDetector(cloud.Host)
+//	agent := cloudskulk.NewGuestAgent(rk.Victim, 2048)
+//	agent.OnLoad = rk.InterceptFilePushes(8192)
+//	verdict, evidence, err := det.Run(agent)        // => VerdictNested
+//
+// Everything runs on a virtual clock: results are exactly reproducible
+// for a given seed, regardless of the machine executing the simulation.
+package cloudskulk
+
+import (
+	"cloudskulk/internal/core"
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/detect"
+	"cloudskulk/internal/experiments"
+	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/migrate"
+	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/vnet"
+	"cloudskulk/internal/workload"
+)
+
+// Testbed building blocks.
+type (
+	// Cloud is one simulated physical machine with a running victim VM
+	// and a live-migration engine — the paper's testbed.
+	Cloud = experiments.Cloud
+	// Host is the physical machine: OS, network endpoint, KSM daemon,
+	// and the L0 hypervisor.
+	Host = kvm.Host
+	// Hypervisor hosts VMs at one virtualization level and can nest.
+	Hypervisor = kvm.Hypervisor
+	// VM is one QEMU guest.
+	VM = qemu.VM
+	// VMConfig is a guest's launch configuration (and recon surface).
+	VMConfig = qemu.Config
+	// FwdRule is one host-port-to-guest-port forwarding rule.
+	FwdRule = qemu.FwdRule
+	// Level is a virtualization level (L0 bare metal, L1 guest, L2
+	// nested guest).
+	Level = cpu.Level
+)
+
+// Virtualization levels, in the Turtles notation the paper uses.
+const (
+	L0 = cpu.L0
+	L1 = cpu.L1
+	L2 = cpu.L2
+)
+
+// The attack.
+type (
+	// InstallConfig parameterizes the CloudSkulk installation; the zero
+	// value takes the paper's defaults.
+	InstallConfig = core.InstallConfig
+	// Rootkit is an installed CloudSkulk instance.
+	Rootkit = core.Rootkit
+	// InstallReport carries step timings and the migration result.
+	InstallReport = core.Report
+	// Recon is the attacker's target-discovery toolkit.
+	Recon = core.Recon
+	// Sniffer is the passive traffic-capture service.
+	Sniffer = core.Sniffer
+	// ActiveFilter is the active drop/tamper service.
+	ActiveFilter = core.ActiveFilter
+	// FilterRule matches packets for the active service.
+	FilterRule = core.FilterRule
+	// VMI is the attacker's introspection of the captured victim.
+	VMI = core.VMI
+)
+
+// Active-service actions.
+const (
+	ActionDrop    = core.ActionDrop
+	ActionReplace = core.ActionReplace
+)
+
+// The defence.
+type (
+	// DedupDetector runs the paper's memory-deduplication timing
+	// protocol from L0.
+	DedupDetector = detect.DedupDetector
+	// GuestAgent is the in-guest side of the protocol.
+	GuestAgent = detect.GuestAgent
+	// Verdict is the detector's conclusion.
+	Verdict = detect.Verdict
+	// Evidence carries the t0/t1/t2 timing probes.
+	Evidence = detect.Evidence
+	// VMCSScanner is the memory-forensic baseline detector.
+	VMCSScanner = detect.VMCSScanner
+	// FingerprintDB is the VMI-fingerprint baseline detector.
+	FingerprintDB = detect.FingerprintDB
+)
+
+// Detection verdicts.
+const (
+	VerdictClean        = detect.VerdictClean
+	VerdictNested       = detect.VerdictNested
+	VerdictInconclusive = detect.VerdictInconclusive
+)
+
+// Experiments: the paper's evaluation.
+type (
+	// ExperimentOptions scales the experiment harness.
+	ExperimentOptions = experiments.Options
+)
+
+// Workloads and files.
+type (
+	// File is an in-memory file image (the detection probe file).
+	File = mem.File
+	// WorkloadProfile is a background guest-activity pattern.
+	WorkloadProfile = workload.Profile
+	// MigrationMode selects pre-copy or post-copy live migration.
+	MigrationMode = migrate.Mode
+	// Packet is one unit of simulated network traffic.
+	Packet = vnet.Packet
+	// Addr is an (endpoint, port) network address.
+	Addr = vnet.Addr
+	// Tap observes (and may rewrite or drop) packets.
+	Tap = vnet.Tap
+)
+
+// Migration modes.
+const (
+	PreCopy  = migrate.PreCopy
+	PostCopy = migrate.PostCopy
+)
+
+// NewCloud builds a seeded testbed: one host with a running victim VM
+// ("guest0", SSH forwarded on host port 2222, QEMU monitor on 5555), a
+// live-migration engine, and a KSM daemon (created stopped; start it with
+// cloud.Host.KSM().Start()).
+func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
+	return experiments.NewCloud(seed, guestMemMB)
+}
+
+// DefaultInstallConfig returns the paper's attack parameters.
+func DefaultInstallConfig() InstallConfig {
+	return core.DefaultInstallConfig()
+}
+
+// NewDedupDetector returns the paper's detector with its default
+// parameters (100-page probe, 15 s merge window).
+func NewDedupDetector(host *Host) *DedupDetector {
+	return detect.NewDedupDetector(host)
+}
+
+// NewGuestAgent returns the in-guest agent placing the probe file at the
+// given page offset.
+func NewGuestAgent(vm *VM, atPage int) *GuestAgent {
+	return detect.NewGuestAgent(vm, atPage)
+}
+
+// NewSniffer returns an empty passive-capture tap.
+func NewSniffer() *Sniffer { return core.NewSniffer() }
+
+// NewActiveFilter returns an active drop/tamper tap with the given rules.
+func NewActiveFilter(rules ...FilterRule) *ActiveFilter {
+	return core.NewActiveFilter(rules...)
+}
+
+// NewFingerprintDB returns an empty VMI-fingerprint baseline database.
+func NewFingerprintDB() *FingerprintDB { return detect.NewFingerprintDB() }
+
+// DefaultExperimentOptions reproduces the paper's evaluation scale
+// (1 GiB guests, 5 runs per cell).
+func DefaultExperimentOptions() ExperimentOptions {
+	return experiments.DefaultOptions()
+}
+
+// QuickExperimentOptions returns a scaled-down configuration suitable for
+// fast smoke runs.
+func QuickExperimentOptions() ExperimentOptions {
+	return experiments.TestOptions()
+}
+
+// GenerateFile builds an in-memory file image of n pages with globally
+// unique contents, drawing its nonce from the cloud's seeded randomness —
+// the probe files and guest documents of the examples and experiments.
+func GenerateFile(cloud *Cloud, name string, pages int) *File {
+	return mem.GenerateFile(cloud.Eng.RNG(), name, pages)
+}

@@ -1,0 +1,177 @@
+package cloudskulk_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudskulk"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start flow through
+// the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cloud, err := cloudskulk.NewCloud(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk.Victim.Level() != cloudskulk.L2 {
+		t.Fatalf("victim level = %v", rk.Victim.Level())
+	}
+	cloud.Host.KSM().Start()
+	det := cloudskulk.NewDedupDetector(cloud.Host)
+	det.Pages = 50
+	agent := cloudskulk.NewGuestAgent(rk.Victim, 2048)
+	agent.OnLoad = rk.InterceptFilePushes(8192)
+	verdict, ev, err := det.Run(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != cloudskulk.VerdictNested {
+		t.Fatalf("verdict = %v", verdict)
+	}
+	if ev.T2.Mean() < ev.T0.Mean() {
+		t.Fatal("evidence shape wrong")
+	}
+}
+
+func TestPublicAPICleanDetection(t *testing.T) {
+	cloud, err := cloudskulk.NewCloud(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Host.KSM().Start()
+	det := cloudskulk.NewDedupDetector(cloud.Host)
+	det.Pages = 50
+	verdict, _, err := det.Run(cloudskulk.NewGuestAgent(cloud.Victim, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != cloudskulk.VerdictClean {
+		t.Fatalf("verdict = %v", verdict)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	o := cloudskulk.QuickExperimentOptions()
+	if out := cloudskulk.Table1CVE().Render(); !strings.Contains(out, "TABLE I") {
+		t.Fatal("table1")
+	}
+	if _, err := cloudskulk.Figure2KernelCompile(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloudskulk.Figure3Netperf(o); err != nil {
+		t.Fatal(err)
+	}
+	t2 := cloudskulk.Table2Arithmetic(o)
+	if len(t2.Ops) != 10 {
+		t.Fatal("table2")
+	}
+	if got := cloudskulk.Table3Processes(o); len(got.Ops) != 8 {
+		t.Fatal("table3")
+	}
+	if got := cloudskulk.Table4FileOps(o); len(got.Labels) != 8 {
+		t.Fatal("table4")
+	}
+}
+
+func TestPublicAPIExperimentExtensions(t *testing.T) {
+	o := cloudskulk.QuickExperimentOptions()
+	if res, err := cloudskulk.Figure4Migration(o); err != nil || len(res.Cells) != 6 {
+		t.Fatalf("fig4: %v", err)
+	}
+	if res, err := cloudskulk.Figure5DetectionClean(o); err != nil ||
+		res.Verdict != cloudskulk.VerdictClean {
+		t.Fatalf("fig5: %v %v", res.Verdict, err)
+	}
+	if res, err := cloudskulk.Figure6DetectionInfected(o); err != nil ||
+		res.Verdict != cloudskulk.VerdictNested {
+		t.Fatalf("fig6: %v %v", res.Verdict, err)
+	}
+	if res, err := cloudskulk.MultiTenantSurvey(o, 2, 0); err != nil || !res.Correct() {
+		t.Fatalf("survey: %v", err)
+	}
+	if res, err := cloudskulk.RemediationDrill(o); err != nil ||
+		res.PostVerdict != cloudskulk.VerdictClean {
+		t.Fatalf("remediation: %v", err)
+	}
+	if res, err := cloudskulk.BaselineComparison(o); err != nil || len(res.Rows) != 3 {
+		t.Fatalf("baselines: %v", err)
+	}
+	if res, err := cloudskulk.ArmsRaceSyncCountermeasure(o); err != nil || len(res.Rows) != 6 {
+		t.Fatalf("armsrace: %v", err)
+	}
+	if res, err := cloudskulk.AblationTimingGap(o, []float64{31}); err != nil ||
+		len(res.GapRatios) != 1 {
+		t.Fatalf("timing gap: %v", err)
+	}
+	if res, err := cloudskulk.AblationMigrationFeatures(o); err != nil ||
+		len(res.Variants) != 4 {
+		t.Fatalf("features: %v", err)
+	}
+	if res, err := cloudskulk.AblationPrePostCopy(o); err != nil ||
+		res.PreCopySeconds <= 0 {
+		t.Fatalf("prepost: %v", err)
+	}
+	if res, err := cloudskulk.AblationDirtyRate(o, []float64{100, 4000}); err != nil ||
+		len(res.Seconds) != 2 {
+		t.Fatalf("dirty rate: %v", err)
+	}
+	if res, err := cloudskulk.AblationProbeSize(o, []int{5}); err != nil ||
+		len(res.Verdicts) != 1 {
+		t.Fatalf("probe size: %v", err)
+	}
+	if res, err := cloudskulk.AblationKSMWait(o, []time.Duration{10 * time.Second}); err != nil ||
+		len(res.Verdicts) != 1 {
+		t.Fatalf("ksm wait: %v", err)
+	}
+	if res, err := cloudskulk.TimeToDetect(o, 5*time.Minute); err != nil ||
+		res.TimeToDetect <= 0 {
+		t.Fatalf("ttd: %v", err)
+	}
+	if res := cloudskulk.AblationExitMultiplier(o, []int{18}); len(res.PipeL2Us) != 1 {
+		t.Fatal("exit multiplier")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	cloud, err := cloudskulk.NewCloud(3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cloudskulk.NewFingerprintDB()
+	db.Baseline(cloud.Victim)
+	if ok, err := db.Check(cloud.Victim); err != nil || !ok {
+		t.Fatalf("fingerprint self-check %v %v", ok, err)
+	}
+	if got := (cloudskulk.VMCSScanner{Host: cloud.Host}).Scan(); len(got) != 0 {
+		t.Fatalf("clean host VMCS findings: %v", got)
+	}
+}
+
+func TestPublicAPIServices(t *testing.T) {
+	cloud, err := cloudskulk.NewCloud(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffer := cloudskulk.NewSniffer()
+	if err := rk.AttachTap(sniffer); err != nil {
+		t.Fatal(err)
+	}
+	filter := cloudskulk.NewActiveFilter(cloudskulk.FilterRule{
+		Port:   22,
+		Match:  []byte("drop-me"),
+		Action: cloudskulk.ActionDrop,
+	})
+	if err := rk.AttachTap(filter); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Command cloudskulk demonstrates the attack end to end on a simulated
+// cloud host, printing the four-step timeline the paper's demo video
+// walks through: recon, launching the rootkit-in-the-middle VM, nesting
+// the destination, live-migrating the victim into it, and taking over the
+// victim's identity.
+//
+// Usage:
+//
+//	cloudskulk [-seed N] [-mem MB] [-hide-vmcs] [-post-copy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudskulk"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudskulk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cloudskulk", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	memMB := fs.Int64("mem", 1024, "victim VM memory (MB)")
+	hideVMCS := fs.Bool("hide-vmcs", false, "run the nested hypervisor without VT-x (evades VMCS scanners)")
+	postCopy := fs.Bool("post-copy", false, "use post-copy migration instead of pre-copy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cloud, err := cloudskulk.NewCloud(*seed, *memMB)
+	if err != nil {
+		return err
+	}
+	if *postCopy {
+		cloud.Migration.Tunables.Mode = cloudskulk.PostCopy
+	}
+
+	fmt.Printf("[*] cloud host %q up; victim %q running at %v (pid %d, ssh on host:2222, monitor on :5555)\n",
+		cloud.Host.Name(), cloud.Victim.Name(), cloud.Victim.Level(), cloud.Victim.PID())
+
+	// Show the recon surfaces the attacker reads.
+	fmt.Println("[*] recon: ps -ef | grep qemu")
+	for _, p := range cloud.Host.OS().FindByCommand("qemu-system") {
+		fmt.Printf("    pid %d: %s\n", p.PID, p.Command)
+	}
+
+	icfg := cloudskulk.DefaultInstallConfig()
+	icfg.TargetName = cloud.Victim.Name()
+	icfg.HideVMCS = *hideVMCS
+	rk, err := cloud.InstallRootkit(icfg)
+	if err != nil {
+		return err
+	}
+	rep := rk.Report
+
+	fmt.Printf("[*] target locked: %q via %s\n", rep.TargetName, rep.ReconMethod)
+	for _, s := range rep.Steps {
+		fmt.Printf("    step %-28s %8.2fs\n", s.Name, s.Took.Seconds())
+	}
+	fmt.Printf("[*] migration: %v, %d iterations, %.1f MB on wire, downtime %v\n",
+		rep.Migration.Mode, rep.Migration.Iterations,
+		float64(rep.Migration.BytesOnWire)/(1<<20), rep.Migration.Downtime)
+	fmt.Printf("[*] install complete in %.2fs (simulated)\n", rep.TotalTime.Seconds())
+	fmt.Printf("[*] victim now runs nested at %v inside %q; pid preserved: %v\n",
+		rk.Victim.Level(), rk.RITM.Name(), rep.PIDPreserved)
+
+	// Show what the admin sees afterwards.
+	fmt.Println("[*] post-attack: ps -ef | grep qemu (admin view)")
+	for _, p := range cloud.Host.OS().FindByCommand("qemu-system") {
+		fmt.Printf("    pid %d: %s\n", p.PID, p.Command)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Command experiments regenerates every table and figure of the CloudSkulk
+// paper's evaluation, printing each as ASCII.
+//
+// Usage:
+//
+//	experiments [-scale full|quick] [-seed N] [-only artefact]
+//
+// Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
+// baselines, ablations. Default runs all of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudskulk"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scale := fs.String("scale", "full", "experiment scale: full (paper) or quick")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	only := fs.String("only", "", "run a single artefact (table1, fig2, ..., ablations)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var o cloudskulk.ExperimentOptions
+	switch *scale {
+	case "full":
+		o = cloudskulk.DefaultExperimentOptions()
+	case "quick":
+		o = cloudskulk.QuickExperimentOptions()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	o.Seed = *seed
+
+	artefacts := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			return cloudskulk.Table1CVE().Render(), nil
+		}},
+		{"table1full", func() (string, error) {
+			return cloudskulk.Table1CVE().RenderFull(), nil
+		}},
+		{"fig2", func() (string, error) {
+			r, err := cloudskulk.Figure2KernelCompile(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig3", func() (string, error) {
+			r, err := cloudskulk.Figure3Netperf(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig4", func() (string, error) {
+			r, err := cloudskulk.Figure4Migration(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table2", func() (string, error) {
+			return cloudskulk.Table2Arithmetic(o).Render(), nil
+		}},
+		{"table3", func() (string, error) {
+			return cloudskulk.Table3Processes(o).Render(), nil
+		}},
+		{"table4", func() (string, error) {
+			return cloudskulk.Table4FileOps(o).Render(), nil
+		}},
+		{"fig5", func() (string, error) {
+			r, err := cloudskulk.Figure5DetectionClean(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig6", func() (string, error) {
+			r, err := cloudskulk.Figure6DetectionInfected(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"baselines", func() (string, error) {
+			r, err := cloudskulk.BaselineComparison(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"armsrace", func() (string, error) {
+			r, err := cloudskulk.ArmsRaceSyncCountermeasure(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"survey", func() (string, error) {
+			r, err := cloudskulk.MultiTenantSurvey(o, 3, 1)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"remediation", func() (string, error) {
+			r, err := cloudskulk.RemediationDrill(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"watchdog", func() (string, error) {
+			r, err := cloudskulk.TimeToDetect(o, 10*time.Minute)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablations", func() (string, error) {
+			var b strings.Builder
+			em := cloudskulk.AblationExitMultiplier(o, []int{1, 4, 9, 18, 36, 72})
+			b.WriteString(em.Render() + "\n")
+			dr, err := cloudskulk.AblationDirtyRate(o, []float64{100, 2000, 4000, 6000, 7000, 7500, 7900})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(dr.Render() + "\n")
+			pp, err := cloudskulk.AblationPrePostCopy(o)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(pp.Render() + "\n")
+			ps, err := cloudskulk.AblationProbeSize(o, []int{1, 10, 100, 400})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(ps.Render() + "\n")
+			kw, err := cloudskulk.AblationKSMWait(o, []time.Duration{
+				10 * time.Millisecond, 100 * time.Millisecond, time.Second, 15 * time.Second,
+			})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(kw.Render() + "\n")
+			tg, err := cloudskulk.AblationTimingGap(o, []float64{31, 10, 4, 1})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(tg.Render() + "\n")
+			mf, err := cloudskulk.AblationMigrationFeatures(o)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(mf.Render())
+			return b.String(), nil
+		}},
+	}
+
+	ran := 0
+	for _, a := range artefacts {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		out, err := a.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", a.name, out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown artefact %q", *only)
+	}
+	return nil
+}

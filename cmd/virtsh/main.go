@@ -1,0 +1,89 @@
+// Command virtsh is a virsh-like shell over a simulated host: it reads
+// management commands from stdin (or a script via -f) and executes them
+// against one fresh simulation, printing each result. Because the host is
+// simulated and in-memory, a session *is* the lifetime of the world —
+// great for scripting demos and reproducing management-plane flows.
+//
+// Example session:
+//
+//	define {"name":"web","memory_mb":1024,"vcpus":1,"kvm":true}
+//	start web
+//	list
+//	reboot web
+//	destroy web
+//
+// Usage:
+//
+//	virtsh [-seed N] [-f script]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/migrate"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/virtman"
+	"cloudskulk/internal/vnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "virtsh:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("virtsh", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	script := fs.String("f", "", "script file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := sim.NewEngine(*seed)
+	network := vnet.New(eng)
+	host, err := kvm.NewHost(eng, network, "host")
+	if err != nil {
+		return err
+	}
+	host.SetMigrationService(migrate.NewEngine(eng, network))
+	mgr := virtman.NewManager(host)
+
+	input := stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		input = f
+	}
+
+	sc := bufio.NewScanner(input)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		out, err := virtman.Execute(mgr, line)
+		if err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", err)
+			continue
+		}
+		if out != "" {
+			fmt.Fprint(stdout, out)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,89 @@
+// Active service demo: the victim runs an online-banking web service; the
+// attacker's rootkit-in-the-middle drops selected requests and tampers
+// with responses served to the bank's clients (the paper's §IV-B2).
+//
+//	go run ./examples/active-mitm
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cloudskulk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "active-mitm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cloud, err := cloudskulk.NewCloud(11, 512)
+	if err != nil {
+		return err
+	}
+	// The victim serves HTTP on guest port 80, forwarded from host:8080.
+	if err := cloud.Victim.AddHostFwd(cloudskulk.FwdRule{HostPort: 8080, GuestPort: 80}); err != nil {
+		return err
+	}
+
+	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rootkit installed; victim bank server captured at %v\n", rk.Victim.Level())
+
+	// Active rules: suppress audit submissions, rewrite balances.
+	filter := cloudskulk.NewActiveFilter(
+		cloudskulk.FilterRule{
+			Port:   80,
+			Match:  []byte("POST /audit"),
+			Action: cloudskulk.ActionDrop,
+		},
+		cloudskulk.FilterRule{
+			Port:    80,
+			Match:   []byte("balance=1000000"),
+			Action:  cloudskulk.ActionReplace,
+			Replace: []byte("balance=999"),
+		},
+	)
+	if err := rk.AttachTap(filter); err != nil {
+		return err
+	}
+
+	// The bank's clients keep using host:8080 as always.
+	if err := cloud.Net.AddEndpoint("browser"); err != nil {
+		return err
+	}
+	var served []string
+	if err := cloud.Net.Listen(cloudskulk.Addr{Endpoint: rk.Victim.Endpoint(), Port: 80},
+		func(p *cloudskulk.Packet) { served = append(served, string(p.Payload)) }); err != nil {
+		return err
+	}
+	requests := []string{
+		"GET /account balance=1000000 HTTP/1.1",
+		"POST /audit body=quarterly-report",
+		"GET /transfer to=alice amount=50",
+	}
+	for _, r := range requests {
+		pkt := &cloudskulk.Packet{
+			From:    cloudskulk.Addr{Endpoint: "browser", Port: 49152},
+			To:      cloudskulk.Addr{Endpoint: cloud.Host.Name(), Port: 8080},
+			Payload: []byte(r),
+		}
+		if err := cloud.Net.Send(pkt); err != nil {
+			fmt.Printf("dropped in transit: %q (%v)\n", r, err)
+		}
+	}
+	cloud.Eng.Run()
+
+	fmt.Println("requests the bank server actually received:")
+	for _, s := range served {
+		fmt.Printf("  %s\n", s)
+	}
+	dropped, modified := filter.Stats()
+	fmt.Printf("attacker stats: %d dropped, %d tampered\n", dropped, modified)
+	return nil
+}

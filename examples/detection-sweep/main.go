@@ -1,0 +1,79 @@
+// Detection sweep: runs the dedup-timing detector across probe-file sizes
+// and KSM merge windows, on both a clean and an infected host, and prints
+// a verdict matrix — the operational tuning guide for a cloud operator
+// deploying the paper's defence.
+//
+//	go run ./examples/detection-sweep
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"cloudskulk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "detection-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pageSizes := []int{1, 10, 100, 400}
+	waits := []time.Duration{100 * time.Millisecond, time.Second, 15 * time.Second}
+
+	fmt.Println("verdict matrix: rows = probe pages, cols = merge window")
+	fmt.Printf("%-12s", "")
+	for _, w := range waits {
+		fmt.Printf("%-28s", w)
+	}
+	fmt.Println()
+
+	seed := int64(100)
+	for _, infected := range []bool{false, true} {
+		label := "clean host"
+		if infected {
+			label = "infected host"
+		}
+		fmt.Printf("--- %s ---\n", label)
+		for _, pages := range pageSizes {
+			fmt.Printf("%-12d", pages)
+			for _, wait := range waits {
+				seed++
+				verdict, err := runOnce(seed, infected, pages, wait)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-28s", verdict)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	fmt.Println("reading: a sufficient merge window detects the rootkit with a")
+	fmt.Println("single probe page; short windows are inconclusive, never wrong.")
+	return nil
+}
+
+func runOnce(seed int64, infected bool, pages int, wait time.Duration) (cloudskulk.Verdict, error) {
+	o := cloudskulk.DefaultExperimentOptions()
+	o.Seed = seed
+	o.GuestMemMB = 256
+	o.DetectPages = pages
+	o.KSMWait = wait
+	if infected {
+		res, err := cloudskulk.Figure6DetectionInfected(o)
+		if err != nil {
+			return 0, err
+		}
+		return res.Verdict, nil
+	}
+	res, err := cloudskulk.Figure5DetectionClean(o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Verdict, nil
+}

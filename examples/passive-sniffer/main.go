@@ -1,0 +1,96 @@
+// Passive service demo: after installing CloudSkulk, the attacker records
+// every packet the victim's users send — including the credentials inside
+// an SSH login and the contents of outgoing mail — without the victim
+// observing any change (the paper's §IV-B1). The example also uses the
+// attacker-side VMI to locate a sensitive file inside the captured guest.
+//
+//	go run ./examples/passive-sniffer
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cloudskulk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "passive-sniffer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cloud, err := cloudskulk.NewCloud(7, 512)
+	if err != nil {
+		return err
+	}
+	// A customer database lives in the victim before the attack.
+	secretDB := cloudskulk.GenerateFile(cloud, "customers.db", 64)
+	if err := cloud.Victim.RAM().LoadFile(secretDB, 4096); err != nil {
+		return err
+	}
+
+	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rootkit in place (%.0fs); attaching sniffer to %q\n",
+		rk.Report.TotalTime.Seconds(), rk.RITM.Name())
+
+	sniffer := cloudskulk.NewSniffer()
+	if err := rk.AttachTap(sniffer); err != nil {
+		return err
+	}
+
+	// The victim's owner logs in over the forwarded SSH port, exactly as
+	// before the attack.
+	if err := cloud.Net.AddEndpoint("laptop"); err != nil {
+		return err
+	}
+	if err := cloud.Net.Listen(cloudskulk.Addr{Endpoint: rk.Victim.Endpoint(), Port: 22},
+		func(*cloudskulk.Packet) {}); err != nil {
+		return err
+	}
+	session := []string{
+		"SSH-2.0-OpenSSH_9.6",
+		"user: alice",
+		"password: hunter2",
+		"mail to: board@example.com body: quarterly numbers attached",
+	}
+	for _, line := range session {
+		pkt := &cloudskulk.Packet{
+			From:    cloudskulk.Addr{Endpoint: "laptop", Port: 50514},
+			To:      cloudskulk.Addr{Endpoint: cloud.Host.Name(), Port: 2222},
+			Payload: []byte(line),
+		}
+		if err := cloud.Net.Send(pkt); err != nil {
+			return err
+		}
+	}
+	cloud.Eng.Run()
+
+	fmt.Println("attacker's keystroke/traffic log (pre-encryption plaintext):")
+	for _, payload := range sniffer.PayloadsTo(22) {
+		fmt.Printf("  %s\n", payload)
+	}
+
+	// VMI: the attacker inspects the captured guest's memory from the L1
+	// hypervisor and locates the database that migrated along with it.
+	vmi := rk.VictimVMI()
+	at, found := vmi.FindFile(secretDB)
+	if !found {
+		return fmt.Errorf("customer database not found via VMI")
+	}
+	fmt.Printf("VMI located customers.db at guest page %d (%d pages)\n", at, secretDB.NumPages())
+
+	// And hosts a parasite OS beside the victim for spam relaying.
+	parasite, err := rk.LaunchParasite("spam-relay", 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parasite %q running at %v beside the victim\n",
+		parasite.Name(), parasite.Level())
+	return nil
+}

@@ -1,0 +1,3 @@
+module cloudskulk
+
+go 1.22

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cloudskulk/internal/qemu"
+)
+
+func TestConfigViaQMP(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	// Give the victim a QMP socket too (management-stack style).
+	cfg := qemu.DefaultConfig("mgmt")
+	cfg.MemoryMB = 48
+	cfg.QMPPort = 7777
+	if _, err := tc.host.Hypervisor().CreateVM(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.host.Hypervisor().Launch("mgmt"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recon{Host: tc.host}.ConfigViaQMP(7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mgmt" || got.MemoryMB != 48 {
+		t.Fatalf("config = %+v", got)
+	}
+	if len(got.Drives) != 1 || got.Drives[0].File != "mgmt.qcow2" || got.Drives[0].Format != "qcow2" {
+		t.Fatalf("drives = %+v", got.Drives)
+	}
+	// A QMP-derived config is a valid migration twin of the original.
+	orig, _ := tc.host.Hypervisor().VM("mgmt")
+	if err := orig.Config().MatchesForMigration(got); err != nil {
+		t.Fatalf("qmp recon not migration-compatible: %v", err)
+	}
+	if _, err := (Recon{Host: tc.host}).ConfigViaQMP(9999); !errors.Is(err, ErrReconFailed) {
+		t.Fatalf("bogus port err = %v", err)
+	}
+}
+
+func TestQMPPortCommandLineRoundTrip(t *testing.T) {
+	cfg := qemu.DefaultConfig("g")
+	cfg.QMPPort = 7777
+	line := cfg.CommandLine()
+	if !strings.Contains(line, "-qmp tcp:127.0.0.1:7777,server,nowait") {
+		t.Fatalf("command line missing qmp: %s", line)
+	}
+	parsed, err := qemu.ParseCommandLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.QMPPort != 7777 {
+		t.Fatalf("parsed qmp port = %d", parsed.QMPPort)
+	}
+}

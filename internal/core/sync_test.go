@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
+)
+
+func TestMirrorFileAndIntercept(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	rk := install(t, tc, defaultTargeted())
+	f := mem.GenerateFile(tc.eng.RNG(), "pushed.bin", 8)
+	hook := rk.InterceptFilePushes(4096)
+	hook(f)
+	if got := rk.RITM.RAM().FileResident(f, 4096); got != 8 {
+		t.Fatalf("mirrored residency = %d", got)
+	}
+	// Oversized pushes are dropped silently (best effort).
+	huge := mem.GenerateFile(tc.eng.RNG(), "huge.bin", rk.RITM.RAM().NumPages()+1)
+	hook(huge)
+	// Direct MirrorFile errors on overflow.
+	if err := rk.MirrorFile(huge, 0); err == nil {
+		t.Fatal("oversized MirrorFile succeeded")
+	}
+}
+
+func TestMirrorRange(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	rk := install(t, tc, defaultTargeted())
+	// Write known content into the victim, mirror it.
+	for p := 3000; p < 3010; p++ {
+		if _, err := rk.Victim.RAM().Write(p, mem.Content(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rk.MirrorRange(3000, 10); err != nil {
+		t.Fatal(err)
+	}
+	for p := 3000; p < 3010; p++ {
+		if rk.RITM.RAM().MustRead(p) != mem.Content(p) {
+			t.Fatalf("page %d not mirrored", p)
+		}
+	}
+	if err := rk.MirrorRange(1<<30, 1); err == nil {
+		t.Fatal("out-of-range mirror succeeded")
+	}
+}
+
+func TestPollingMirrorSync(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	rk := install(t, tc, defaultTargeted())
+	// Seed the region in both.
+	f := mem.GenerateFile(tc.eng.RNG(), "tracked.bin", 16)
+	if err := rk.Victim.RAM().LoadFile(f, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := rk.MirrorFile(f, 6000); err != nil {
+		t.Fatal(err)
+	}
+	ms := rk.StartMirrorSync(5000, 16, 6000, 100*time.Millisecond)
+	defer ms.Stop()
+
+	// The guest changes a tracked page; within an interval the mirror
+	// follows.
+	if _, err := rk.Victim.RAM().Write(5003, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	tc.eng.RunFor(250 * time.Millisecond)
+	if got := rk.RITM.RAM().MustRead(6003); got != 0xabcd {
+		t.Fatalf("mirror page = %#x, want synced 0xabcd", got)
+	}
+	scanned, copied, rate := ms.Overhead()
+	if scanned == 0 || copied == 0 {
+		t.Fatalf("overhead = %d/%d", scanned, copied)
+	}
+	if rate != 160 { // 16 pages / 0.1s
+		t.Fatalf("scan rate = %v pages/s", rate)
+	}
+	ms.Stop()
+	before := scannedOf(ms)
+	tc.eng.RunFor(time.Second)
+	if scannedOf(ms) != before {
+		t.Fatal("sync kept scanning after Stop")
+	}
+}
+
+func scannedOf(ms *MirrorSync) uint64 {
+	s, _, _ := ms.Overhead()
+	return s
+}
+
+func TestWriteTrackingSync(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	rk := install(t, tc, defaultTargeted())
+	ws := rk.StartWriteTrackingSync(2000, 4, 7000)
+	if !rk.Victim.RAM().HasWriteHook() {
+		t.Fatal("hook not installed")
+	}
+	// Writes inside the window propagate instantly.
+	if _, err := rk.Victim.RAM().Write(2001, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	if rk.RITM.RAM().MustRead(7001) != 0x1111 {
+		t.Fatal("tracked write not propagated")
+	}
+	// Writes outside the window do not trap.
+	if _, err := rk.Victim.RAM().Write(100, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Traps() != 1 {
+		t.Fatalf("traps = %d, want 1", ws.Traps())
+	}
+	perTrap := cpu.DefaultModel().NestedFaultCost.Duration()
+	if ws.TrapOverhead(perTrap) != perTrap {
+		t.Fatalf("overhead = %v", ws.TrapOverhead(perTrap))
+	}
+	ws.Stop()
+	if rk.Victim.RAM().HasWriteHook() {
+		t.Fatal("hook survived Stop")
+	}
+	if _, err := rk.Victim.RAM().Write(2002, 0x3333); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Traps() != 1 {
+		t.Fatal("trapped after Stop")
+	}
+}
+
+func TestWriteTrackingSyncWholeRAM(t *testing.T) {
+	tc := newTestCloud(t, 1)
+	rk := install(t, tc, defaultTargeted())
+	ws := rk.StartWriteTrackingSync(0, -1, 0)
+	defer ws.Stop()
+	if _, err := rk.Victim.RAM().Write(123, 0x9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rk.Victim.RAM().Write(4567, 0x8); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Traps() != 2 {
+		t.Fatalf("traps = %d", ws.Traps())
+	}
+	if rk.RITM.RAM().MustRead(123) != 0x9 || rk.RITM.RAM().MustRead(4567) != 0x8 {
+		t.Fatal("whole-RAM mirror incomplete")
+	}
+}

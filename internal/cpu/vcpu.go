@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"time"
+
+	"cloudskulk/internal/sim"
+)
+
+// VCPU executes modelled operations on a simulation engine, advancing
+// virtual time by each operation's cost (with measurement noise) and
+// keeping per-class accounting.
+type VCPU struct {
+	eng   *sim.Engine
+	model Model
+	level Level
+
+	// Noise is the relative standard deviation applied per Exec batch,
+	// modelling run-to-run measurement variance. Zero means exact costs.
+	Noise float64
+
+	executed map[Class]uint64
+	busy     time.Duration
+}
+
+// NewVCPU returns a vCPU running at the given level under the given model.
+func NewVCPU(eng *sim.Engine, model Model, level Level) *VCPU {
+	return &VCPU{
+		eng:      eng,
+		model:    model,
+		level:    level,
+		executed: make(map[Class]uint64, 3),
+	}
+}
+
+// Level returns the virtualization level the vCPU runs at.
+func (v *VCPU) Level() Level { return v.level }
+
+// Model returns the cost model in use.
+func (v *VCPU) Model() Model { return v.model }
+
+// Engine returns the simulation engine the vCPU runs on.
+func (v *VCPU) Engine() *sim.Engine { return v.eng }
+
+// CostOf returns the exact (noise-free) cost of one execution of op at this
+// vCPU's level.
+func (v *VCPU) CostOf(op Op) Cost {
+	return v.model.Cost(op, v.level)
+}
+
+// Exec runs op n times, advances virtual time by the (noisy) total cost,
+// and returns the elapsed virtual time. n <= 0 is a no-op.
+func (v *VCPU) Exec(op Op, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	exact := (v.CostOf(op) * Cost(n)).Duration()
+	elapsed := exact
+	if v.Noise > 0 {
+		elapsed = v.eng.GaussDuration(exact, v.Noise)
+	}
+	v.eng.Advance(elapsed)
+	v.executed[op.Class] += uint64(n)
+	v.busy += elapsed
+	return elapsed
+}
+
+// MeasureMean runs op reps times with this vCPU's noise applied and returns
+// the mean per-op cost, the way lmbench reports a measurement.
+func (v *VCPU) MeasureMean(op Op, reps int) Cost {
+	if reps <= 0 {
+		return 0
+	}
+	elapsed := v.Exec(op, reps)
+	return DurationCost(elapsed) / Cost(reps)
+}
+
+// Executed returns how many operations of the class have run.
+func (v *VCPU) Executed(c Class) uint64 { return v.executed[c] }
+
+// Busy returns total virtual time this vCPU has consumed.
+func (v *VCPU) Busy() time.Duration { return v.busy }

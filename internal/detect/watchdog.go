@@ -1,0 +1,100 @@
+package detect
+
+import (
+	"time"
+
+	"cloudskulk/internal/sim"
+)
+
+// Alert is one watchdog finding.
+type Alert struct {
+	At      time.Duration
+	Guest   string
+	Verdict Verdict
+}
+
+// AgentFactory returns a fresh in-guest agent for a named tenant at scan
+// time. It is a factory rather than a fixed agent because the VM actually
+// serving a tenant can change under the operator's feet — that is the
+// attack.
+type AgentFactory func(guest string) (*GuestAgent, error)
+
+// Watchdog runs the dedup-timing protocol against a set of tenants on a
+// fixed period — the paper's detector deployed as a continuous control
+// rather than a one-shot audit.
+type Watchdog struct {
+	detector *DedupDetector
+	factory  AgentFactory
+	guests   []string
+	ticker   *sim.Ticker
+
+	alerts []Alert
+	scans  uint64
+	errs   []error
+}
+
+// NewWatchdog builds a stopped watchdog over the given tenants.
+func NewWatchdog(d *DedupDetector, guests []string, factory AgentFactory) *Watchdog {
+	return &Watchdog{
+		detector: d,
+		factory:  factory,
+		guests:   append([]string(nil), guests...),
+	}
+}
+
+// Start begins periodic scanning with the given period. Each firing scans
+// every tenant once (sequentially, in virtual time).
+func (w *Watchdog) Start(period time.Duration) {
+	if w.ticker != nil && !w.ticker.Stopped() {
+		return
+	}
+	eng := w.detector.Host.Engine()
+	w.ticker = sim.NewTicker(eng, period, "detect.watchdog", func() {
+		w.ScanOnce()
+	})
+}
+
+// Stop halts scanning.
+func (w *Watchdog) Stop() {
+	if w.ticker != nil {
+		w.ticker.Stop()
+	}
+}
+
+// ScanOnce runs one pass over all tenants immediately.
+func (w *Watchdog) ScanOnce() {
+	eng := w.detector.Host.Engine()
+	for _, g := range w.guests {
+		agent, err := w.factory(g)
+		if err != nil {
+			w.errs = append(w.errs, err)
+			continue
+		}
+		verdict, _, err := w.detector.Run(agent)
+		if err != nil {
+			w.errs = append(w.errs, err)
+			continue
+		}
+		w.scans++
+		if verdict == VerdictNested {
+			w.alerts = append(w.alerts, Alert{
+				At:      eng.Now(),
+				Guest:   g,
+				Verdict: verdict,
+			})
+		}
+	}
+}
+
+// Alerts returns all findings so far, oldest first.
+func (w *Watchdog) Alerts() []Alert {
+	return append([]Alert(nil), w.alerts...)
+}
+
+// Scans returns how many tenant scans completed.
+func (w *Watchdog) Scans() uint64 { return w.scans }
+
+// Errors returns scan failures (e.g. a tenant that was down).
+func (w *Watchdog) Errors() []error {
+	return append([]error(nil), w.errs...)
+}

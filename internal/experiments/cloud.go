@@ -1,0 +1,189 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: Table I (CVE inventory), Fig. 2 (kernel compile), Fig. 3
+// (netperf), Fig. 4 (live-migration timing), Tables II-IV (lmbench), and
+// Figs. 5-6 (detection timing), plus the ablation sweeps DESIGN.md §4
+// calls out. Each experiment builds its own seeded simulation, so results
+// are deterministic per (seed, options).
+package experiments
+
+import (
+	"time"
+
+	"cloudskulk/internal/core"
+	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/migrate"
+	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/vnet"
+)
+
+// Options scales the experiments. Defaults reproduce the paper's testbed;
+// tests shrink memory and rep counts for speed.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// GuestMemMB is the victim VM size (paper: 1024).
+	GuestMemMB int64
+	// Runs is the per-cell repetition count (paper: 5).
+	Runs int
+	// CompileUnits is the kernel-compile size (paper-calibrated: 2000).
+	CompileUnits int
+	// LmbenchReps is the per-op repetition count for Tables II-IV.
+	LmbenchReps int
+	// DetectPages is the probe-file size for Figs. 5-6 (paper: 100).
+	DetectPages int
+	// KSMWait is the detector's merge window.
+	KSMWait time.Duration
+}
+
+// DefaultOptions reproduces the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         1,
+		GuestMemMB:   1024,
+		Runs:         5,
+		CompileUnits: 2000,
+		LmbenchReps:  10000,
+		DetectPages:  100,
+		KSMWait:      15 * time.Second,
+	}
+}
+
+// TestOptions returns a scaled-down configuration for fast tests.
+func TestOptions() Options {
+	return Options{
+		Seed:         1,
+		GuestMemMB:   32,
+		Runs:         3,
+		CompileUnits: 120,
+		LmbenchReps:  2000,
+		DetectPages:  50,
+		KSMWait:      10 * time.Second,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.GuestMemMB <= 0 {
+		o.GuestMemMB = d.GuestMemMB
+	}
+	if o.Runs <= 0 {
+		o.Runs = d.Runs
+	}
+	if o.CompileUnits <= 0 {
+		o.CompileUnits = d.CompileUnits
+	}
+	if o.LmbenchReps <= 0 {
+		o.LmbenchReps = d.LmbenchReps
+	}
+	if o.DetectPages <= 0 {
+		o.DetectPages = d.DetectPages
+	}
+	if o.KSMWait <= 0 {
+		o.KSMWait = d.KSMWait
+	}
+	return o
+}
+
+// Cloud is one simulated testbed: a host with a migration engine and a
+// victim VM, mirroring the paper's Fedora 22 / QEMU 2.9 machine.
+type Cloud struct {
+	Eng       *sim.Engine
+	Net       *vnet.Network
+	Host      *kvm.Host
+	Migration *migrate.Engine
+	Victim    *qemu.VM
+
+	// VendorImage records the content the cloud vendor provisioned into
+	// the guest (OS files resident in memory), and VendorImageAt where
+	// it lives. The image-probe detection variant draws its probes from
+	// here.
+	VendorImage   *mem.File
+	VendorImageAt int
+}
+
+// NewCloud builds a testbed with a running victim VM named "guest0"
+// (SSH forwarded on 2222, monitor on 5555) and an idle co-tenant.
+func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
+	eng := sim.NewEngine(seed)
+	network := vnet.New(eng)
+	host, err := kvm.NewHost(eng, network, "host")
+	if err != nil {
+		return nil, err
+	}
+	me := migrate.NewEngine(eng, network)
+	host.SetMigrationService(me)
+
+	cfg := qemu.DefaultConfig("guest0")
+	cfg.MemoryMB = guestMemMB
+	cfg.MonitorPort = 5555
+	cfg.NetDevs[0].HostFwds = []qemu.FwdRule{{HostPort: 2222, GuestPort: 22}}
+	victim, err := host.Hypervisor().CreateVM(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := host.Hypervisor().Launch("guest0"); err != nil {
+		return nil, err
+	}
+	// Provision the vendor image: a region of known, unique content the
+	// vendor can later probe against. A quarter of RAM, capped.
+	imgPages := victim.RAM().NumPages() / 4
+	if imgPages > 4096 {
+		imgPages = 4096
+	}
+	if imgPages < 8 {
+		imgPages = 8
+	}
+	imgAt := victim.RAM().NumPages() / 8
+	image := mem.GenerateFile(eng.RNG(), "vendor-image", imgPages)
+	if err := victim.RAM().LoadFile(image, imgAt); err != nil {
+		return nil, err
+	}
+	return &Cloud{
+		Eng:           eng,
+		Net:           network,
+		Host:          host,
+		Migration:     me,
+		Victim:        victim,
+		VendorImage:   image,
+		VendorImageAt: imgAt,
+	}, nil
+}
+
+// InstallRootkit runs the CloudSkulk installer against the cloud's victim
+// with the given config (zero value fields take the paper defaults).
+func (c *Cloud) InstallRootkit(icfg core.InstallConfig) (*core.Rootkit, error) {
+	if icfg.TargetName == "" {
+		icfg.TargetName = c.Victim.Name()
+	}
+	if icfg.RITMName == "" {
+		base := core.DefaultInstallConfig()
+		base.TargetName = icfg.TargetName
+		base.HideVMCS = icfg.HideVMCS
+		icfg = base
+	}
+	return core.Installer{Host: c.Host, Migration: c.Migration}.Install(icfg)
+}
+
+// perRunSeed derives a distinct seed per repetition.
+func perRunSeed(o Options, cell string, run int) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(cell) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return o.Seed*1_000_003 + h%997 + int64(run)*7919
+}
+
+// cellLabel builds a stable label for seeding and reporting.
+func cellLabel(parts ...string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationMigrationFeatures(t *testing.T) {
+	o := TestOptions()
+	res, err := AblationMigrationFeatures(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("variants = %d", len(res.Variants))
+	}
+	base := res.Seconds[0]
+	for i, v := range res.Variants[1:] {
+		if res.Seconds[i+1] >= base {
+			t.Fatalf("%s (%vs) not faster than defaults (%vs)", v, res.Seconds[i+1], base)
+		}
+	}
+	for i := range res.Variants {
+		if !res.Converged[i] {
+			t.Fatalf("%s did not converge", res.Variants[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "auto-converge") {
+		t.Fatal("render")
+	}
+}

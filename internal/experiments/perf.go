@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/report"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/stats"
+	"cloudskulk/internal/workload"
+)
+
+// levelContext builds a measurement context at a virtualization level with
+// the paper-calibrated model and light measurement noise.
+func levelContext(seed int64, level cpu.Level, memMB int64) *workload.Context {
+	eng := sim.NewEngine(seed)
+	ctx := workload.HostContext(eng, cpu.DefaultModel(), memMB<<20)
+	if level != cpu.L0 {
+		ctx.VCPU = cpu.NewVCPU(eng, cpu.DefaultModel(), level)
+	}
+	ctx.VCPU.Noise = 0.01
+	return ctx
+}
+
+// Figure2Result holds the kernel-compile timings per level.
+type Figure2Result struct {
+	// Seconds per level, one entry per run.
+	Seconds map[cpu.Level][]float64
+}
+
+// Figure2KernelCompile reproduces Fig. 2: Linux-kernel compile time at
+// L0/L1/L2, with ccache enabled only on L0 (the paper's footnote 1).
+func Figure2KernelCompile(o Options) (Figure2Result, error) {
+	o = o.withDefaults()
+	res := Figure2Result{Seconds: make(map[cpu.Level][]float64, 3)}
+	for _, level := range cpu.Levels {
+		for run := 0; run < o.Runs; run++ {
+			ctx := levelContext(perRunSeed(o, cellLabel("fig2", level.String()), run), level, o.GuestMemMB)
+			k := workload.DefaultKernelCompile(level == cpu.L0)
+			k.Units = o.CompileUnits
+			d, err := k.Run(ctx)
+			if err != nil {
+				return Figure2Result{}, fmt.Errorf("fig2 %v run %d: %w", level, run, err)
+			}
+			// Run-to-run system variance (cron, thermal, page-cache
+			// state) that per-operation noise averages away over
+			// thousands of compilation units.
+			secs := ctx.Eng.Gauss(d.Seconds(), 0.015)
+			res.Seconds[level] = append(res.Seconds[level], secs)
+		}
+	}
+	return res, nil
+}
+
+// Mean returns a level's mean compile time in seconds.
+func (r Figure2Result) Mean(l cpu.Level) float64 { return stats.Mean(r.Seconds[l]) }
+
+// Render draws the figure as a log-scale bar chart with the paper-style
+// percentage labels.
+func (r Figure2Result) Render() string {
+	c := report.BarChart{
+		Title: "Fig 2: Linux kernel compile timing",
+		Unit:  "s",
+		Log:   true,
+	}
+	prev := 0.0
+	for _, l := range cpu.Levels {
+		s, _ := stats.Summarize(r.Seconds[l])
+		note := fmt.Sprintf("rsd %.1f%%", s.RelStddev*100)
+		if prev > 0 {
+			note = report.Pct(stats.PercentChange(prev, s.Mean)) + " vs layer below, " + note
+		}
+		c.Add(l.String(), s.Mean, note)
+		prev = s.Mean
+	}
+	return c.Render()
+}
+
+// Figure3Result holds netperf throughput per level.
+type Figure3Result struct {
+	// Mbps per level, one entry per run.
+	Mbps map[cpu.Level][]float64
+}
+
+// Figure3Netperf reproduces Fig. 3: netperf TCP stream throughput at
+// L0/L1/L2, 5 consecutive runs averaged.
+func Figure3Netperf(o Options) (Figure3Result, error) {
+	o = o.withDefaults()
+	res := Figure3Result{Mbps: make(map[cpu.Level][]float64, 3)}
+	link := int64(2) << 30 // intra-host virtio path
+	for _, level := range cpu.Levels {
+		for run := 0; run < o.Runs; run++ {
+			ctx := levelContext(perRunSeed(o, cellLabel("fig3", level.String()), run), level, 64)
+			res.Mbps[level] = append(res.Mbps[level], workload.DefaultNetperf().Run(ctx, link))
+		}
+	}
+	return res, nil
+}
+
+// Mean returns a level's mean throughput in Mbit/s.
+func (r Figure3Result) Mean(l cpu.Level) float64 { return stats.Mean(r.Mbps[l]) }
+
+// RelStddev returns a level's relative standard deviation.
+func (r Figure3Result) RelStddev(l cpu.Level) float64 { return stats.RelStddev(r.Mbps[l]) }
+
+// Render draws the figure.
+func (r Figure3Result) Render() string {
+	c := report.BarChart{
+		Title: "Fig 3: Netperf TCP stream throughput",
+		Unit:  "Mbit/s",
+		Log:   true,
+	}
+	prev := 0.0
+	for _, l := range cpu.Levels {
+		s, _ := stats.Summarize(r.Mbps[l])
+		note := fmt.Sprintf("rsd %.2f%%", s.RelStddev*100)
+		if prev > 0 {
+			note = report.Pct(stats.PercentChange(prev, s.Mean)) + " vs layer below, " + note
+		}
+		c.Add(l.String(), s.Mean, note)
+		prev = s.Mean
+	}
+	return c.Render()
+}
+
+// Table2Result holds the lmbench arithmetic table (ns per op).
+type Table2Result struct {
+	Ops   []string
+	Nanos map[cpu.Level][]float64
+}
+
+// Table2Arithmetic reproduces Table II.
+func Table2Arithmetic(o Options) Table2Result {
+	o = o.withDefaults()
+	res := Table2Result{Nanos: make(map[cpu.Level][]float64, 3)}
+	for _, level := range cpu.Levels {
+		ctx := levelContext(perRunSeed(o, "table2", int(level)), level, 64)
+		for _, r := range workload.RunLmbench(ctx, workload.ArithmeticOps(), o.LmbenchReps) {
+			if level == cpu.L0 {
+				res.Ops = append(res.Ops, r.Op.Name)
+			}
+			res.Nanos[level] = append(res.Nanos[level], r.Mean.Nanoseconds())
+		}
+	}
+	return res
+}
+
+// Render draws Table II in the paper's layout.
+func (r Table2Result) Render() string {
+	t := report.Table{
+		Title:   "TABLE II: lmbench arithmetic operations - times in nanoseconds",
+		Headers: append([]string{"Config"}, r.Ops...),
+	}
+	for _, l := range cpu.Levels {
+		row := []string{l.String()}
+		for _, v := range r.Nanos[l] {
+			row = append(row, report.F2(v))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// Table3Result holds the lmbench process table (µs per op).
+type Table3Result struct {
+	Ops    []string
+	Micros map[cpu.Level][]float64
+}
+
+// Table3Processes reproduces Table III.
+func Table3Processes(o Options) Table3Result {
+	o = o.withDefaults()
+	res := Table3Result{Micros: make(map[cpu.Level][]float64, 3)}
+	for _, level := range cpu.Levels {
+		ctx := levelContext(perRunSeed(o, "table3", int(level)), level, 64)
+		for _, r := range workload.RunLmbench(ctx, workload.ProcessOps(), o.LmbenchReps/10+1) {
+			if level == cpu.L0 {
+				res.Ops = append(res.Ops, r.Op.Name)
+			}
+			res.Micros[level] = append(res.Micros[level], r.Mean.Microseconds())
+		}
+	}
+	return res
+}
+
+// Render draws Table III.
+func (r Table3Result) Render() string {
+	t := report.Table{
+		Title:   "TABLE III: lmbench processes - times in microseconds",
+		Headers: append([]string{"Config"}, r.Ops...),
+	}
+	for _, l := range cpu.Levels {
+		row := []string{l.String()}
+		for _, v := range r.Micros[l] {
+			row = append(row, report.F2(v))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// Table4Result holds the file-op table (operations per second).
+type Table4Result struct {
+	// PerSec[level] parallels workload.FileOps() order.
+	Labels []string
+	PerSec map[cpu.Level][]float64
+}
+
+// Table4FileOps reproduces Table IV.
+func Table4FileOps(o Options) Table4Result {
+	o = o.withDefaults()
+	res := Table4Result{PerSec: make(map[cpu.Level][]float64, 3)}
+	for _, level := range cpu.Levels {
+		ctx := levelContext(perRunSeed(o, "table4", int(level)), level, 64)
+		for _, r := range workload.RunFileOps(ctx, o.LmbenchReps/10+1) {
+			if level == cpu.L0 {
+				res.Labels = append(res.Labels, r.FileOp.Op.Name)
+			}
+			res.PerSec[level] = append(res.PerSec[level], r.PerSec)
+		}
+	}
+	return res
+}
+
+// Render draws Table IV.
+func (r Table4Result) Render() string {
+	t := report.Table{
+		Title:   "TABLE IV: lmbench file system latency - file creations/deletions per second",
+		Headers: append([]string{"Config"}, r.Labels...),
+	}
+	for _, l := range cpu.Levels {
+		row := []string{l.String()}
+		for _, v := range r.PerSec[l] {
+			row = append(row, report.Comma(int64(v)))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

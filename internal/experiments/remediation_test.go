@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cloudskulk/internal/detect"
+)
+
+func TestRemediationDrill(t *testing.T) {
+	o := TestOptions()
+	res, err := RemediationDrill(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreVerdict != detect.VerdictNested {
+		t.Fatalf("pre verdict = %v", res.PreVerdict)
+	}
+	if !res.ManagerSawShutOff {
+		t.Fatal("management-plane inconsistency not observed")
+	}
+	if res.KilledVM != "guestX" {
+		t.Fatalf("killed %q, want the RITM", res.KilledVM)
+	}
+	if res.PostVerdict != detect.VerdictClean {
+		t.Fatalf("post verdict = %v", res.PostVerdict)
+	}
+	if res.Downtime <= 0 {
+		t.Fatalf("downtime = %v", res.Downtime)
+	}
+	out := res.Render()
+	for _, want := range []string{"guestX", "re-check", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cloudskulk/internal/detect"
+)
+
+func TestMultiTenantSurvey(t *testing.T) {
+	o := TestOptions()
+	res, err := MultiTenantSurvey(o, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 3 {
+		t.Fatalf("tenants = %d", len(res.Tenants))
+	}
+	if !res.Correct() {
+		for _, tn := range res.Tenants {
+			t.Logf("%s: verdict=%v infected=%v", tn.Name, tn.Verdict, tn.Infected)
+		}
+		t.Fatal("survey misclassified a tenant")
+	}
+	for _, tn := range res.Tenants {
+		want := detect.VerdictClean
+		if tn.Infected {
+			want = detect.VerdictNested
+		}
+		if tn.Verdict != want {
+			t.Fatalf("%s verdict = %v, want %v", tn.Name, tn.Verdict, want)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"tenant0", "tenant1", "tenant2", "CloudSkulk victim"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiTenantSurveyParameterClamping(t *testing.T) {
+	o := TestOptions()
+	res, err := MultiTenantSurvey(o, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("clamped tenants = %d", len(res.Tenants))
+	}
+	if !res.Correct() {
+		t.Fatal("clamped survey misclassified")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeToDetect(t *testing.T) {
+	o := TestOptions()
+	period := 5 * time.Minute
+	res, err := TimeToDetect(o, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeToDetect <= 0 {
+		t.Fatalf("time to detect = %v", res.TimeToDetect)
+	}
+	// Detection lands within a couple of scan periods of infection (one
+	// period of latency plus the protocol's own three merge windows).
+	if res.TimeToDetect > 2*period+4*o.KSMWait {
+		t.Fatalf("time to detect = %v, period %v", res.TimeToDetect, period)
+	}
+	if res.ScansRun < 2 {
+		t.Fatalf("scans = %d (need at least one clean + one alerting)", res.ScansRun)
+	}
+	if !strings.Contains(res.Render(), "time to detect") {
+		t.Fatal("render")
+	}
+}

@@ -1,0 +1,293 @@
+// Package ksm implements the kernel samepage merging daemon the detection
+// approach builds on.
+//
+// The model follows Linux's ksmd: registered memory regions are scanned a
+// fixed number of pages per wakeup; a page whose content matches an
+// already-merged (stable) page joins its shared group; two not-yet-merged
+// pages with equal content get merged into a new group. Writes to merged
+// pages break copy-on-write (handled in the mem package) and cost far more
+// than regular writes — the timing signal the CloudSkulk detector measures.
+package ksm
+
+import (
+	"time"
+
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/sim"
+)
+
+// Config mirrors ksmd's sysfs tunables.
+type Config struct {
+	// ScanInterval is the daemon's wake period (sleep_millisecs).
+	ScanInterval time.Duration
+	// PagesPerScan is how many pages each wake examines (pages_to_scan).
+	PagesPerScan int
+}
+
+// DefaultConfig matches a tuned-for-dedup host (cloud hosts running KSM
+// typically raise pages_to_scan well above the kernel default of 100).
+func DefaultConfig() Config {
+	return Config{
+		ScanInterval: 20 * time.Millisecond,
+		PagesPerScan: 5000,
+	}
+}
+
+// CostModel gives the write-latency consequences of deduplication, used by
+// everything that measures page-write timing (the detection protocol).
+type CostModel struct {
+	// RegularWrite is a write to an exclusive page.
+	RegularWrite time.Duration
+	// CowBreakWrite is a write that must first break a merged page:
+	// fault, allocate, copy 4 KiB, fix mappings, TLB shootdown.
+	CowBreakWrite time.Duration
+}
+
+// DefaultCostModel is calibrated to the gap prior memory-dedup side-channel
+// work measured (the paper cites Xiao et al. and Suzuki et al.: an order of
+// magnitude or more).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RegularWrite:  900 * time.Nanosecond,
+		CowBreakWrite: 28 * time.Microsecond,
+	}
+}
+
+// WriteCost returns the time one write took, given what it did.
+func (c CostModel) WriteCost(res mem.WriteResult) time.Duration {
+	if res.CowBroken {
+		return c.CowBreakWrite
+	}
+	return c.RegularWrite
+}
+
+type region struct {
+	space *mem.Space
+	next  int // scan cursor within the region
+}
+
+// Daemon is the samepage-merging scanner.
+type Daemon struct {
+	eng    *sim.Engine
+	cfg    Config
+	costs  CostModel
+	ticker *sim.Ticker
+
+	regions []*region
+	cursor  int // index into regions of the region being scanned
+
+	// stable maps page content to its shared group — the stable tree.
+	stable map[mem.Content]*mem.SharedGroup
+	// candidate holds the first-seen location of an unmerged content —
+	// the unstable tree. A second page with the same content triggers a
+	// merge.
+	candidate map[mem.Content]candidateRef
+
+	merges    uint64
+	pagesScan uint64
+}
+
+type candidateRef struct {
+	space *mem.Space
+	page  int
+}
+
+// New returns a stopped daemon with the given config and cost model.
+func New(eng *sim.Engine, cfg Config, costs CostModel) *Daemon {
+	if cfg.PagesPerScan <= 0 {
+		cfg.PagesPerScan = DefaultConfig().PagesPerScan
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = DefaultConfig().ScanInterval
+	}
+	return &Daemon{
+		eng:       eng,
+		cfg:       cfg,
+		costs:     costs,
+		stable:    make(map[mem.Content]*mem.SharedGroup),
+		candidate: make(map[mem.Content]candidateRef),
+	}
+}
+
+// Costs returns the daemon's write cost model.
+func (d *Daemon) Costs() CostModel { return d.costs }
+
+// Config returns the daemon's tunables.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// Register adds a space to the scan set — the moral equivalent of
+// madvise(MADV_MERGEABLE) over a QEMU process's guest RAM. Registering the
+// same space twice is a no-op.
+func (d *Daemon) Register(s *mem.Space) {
+	for _, r := range d.regions {
+		if r.space == s {
+			return
+		}
+	}
+	d.regions = append(d.regions, &region{space: s})
+}
+
+// Unregister removes a space from the scan set (the space's pages keep any
+// sharing they already have until written) and forgets any unstable-tree
+// candidates pointing into it — an unregistered region's pages are going
+// away (process exit, VM kill) and must not seed future merges.
+func (d *Daemon) Unregister(s *mem.Space) {
+	for c, ref := range d.candidate {
+		if ref.space == s {
+			delete(d.candidate, c)
+		}
+	}
+	for i, r := range d.regions {
+		if r.space == s {
+			d.regions = append(d.regions[:i], d.regions[i+1:]...)
+			if d.cursor >= len(d.regions) {
+				d.cursor = 0
+			}
+			return
+		}
+	}
+}
+
+// NumRegions returns how many spaces are registered.
+func (d *Daemon) NumRegions() int { return len(d.regions) }
+
+// Start begins periodic scanning on the engine. Starting twice is a no-op.
+func (d *Daemon) Start() {
+	if d.ticker != nil && !d.ticker.Stopped() {
+		return
+	}
+	d.ticker = sim.NewTicker(d.eng, d.cfg.ScanInterval, "ksmd.scan", func() {
+		d.ScanN(d.cfg.PagesPerScan)
+	})
+}
+
+// Stop halts periodic scanning.
+func (d *Daemon) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+	}
+}
+
+// Running reports whether the daemon is actively scanning.
+func (d *Daemon) Running() bool {
+	return d.ticker != nil && !d.ticker.Stopped()
+}
+
+// ScanN examines up to n pages, advancing round-robin across regions, and
+// merges what it finds. It returns how many merges happened.
+func (d *Daemon) ScanN(n int) int {
+	if len(d.regions) == 0 {
+		return 0
+	}
+	merged := 0
+	for i := 0; i < n; i++ {
+		if d.scanNextPage() {
+			merged++
+		}
+	}
+	return merged
+}
+
+// FullPass scans every registered page exactly once (two consecutive full
+// passes guarantee every mergeable pair has met the candidate table).
+func (d *Daemon) FullPass() int {
+	total := 0
+	for _, r := range d.regions {
+		total += r.space.NumPages()
+	}
+	return d.ScanN(total)
+}
+
+func (d *Daemon) scanNextPage() bool {
+	// Find the next region with pages, advancing the cursor.
+	for tries := 0; tries < len(d.regions); tries++ {
+		r := d.regions[d.cursor]
+		if r.next >= r.space.NumPages() {
+			r.next = 0
+			d.cursor = (d.cursor + 1) % len(d.regions)
+			continue
+		}
+		page := r.next
+		r.next++
+		d.pagesScan++
+		return d.examine(r.space, page)
+	}
+	return false
+}
+
+// examine applies the merge rules to one page. Returns true if a merge
+// (attach) happened.
+func (d *Daemon) examine(s *mem.Space, page int) bool {
+	if s.Volatile(page) {
+		return false
+	}
+	if _, shared := s.Shared(page); shared {
+		return false // already merged
+	}
+	content := s.MustRead(page)
+
+	// Stable tree hit: join the existing group.
+	if g, ok := d.stable[content]; ok {
+		if g.Refs == 0 || g.Content != content {
+			// Group died (all members wrote) — drop the stale entry
+			// and fall through to candidate handling.
+			delete(d.stable, content)
+		} else {
+			if err := s.AttachShared(page, g); err != nil {
+				return false
+			}
+			d.merges++
+			return true
+		}
+	}
+
+	// Unstable tree: look for a waiting partner.
+	if cand, ok := d.candidate[content]; ok {
+		if cand.space == s && cand.page == page {
+			return false
+		}
+		// The partner must still hold the same content (it may have
+		// been written since we recorded it).
+		if pc, err := cand.space.Read(cand.page); err != nil || pc != content {
+			d.candidate[content] = candidateRef{space: s, page: page}
+			return false
+		}
+		if _, shared := cand.space.Shared(cand.page); shared {
+			// Partner got merged through another route; retry via
+			// stable tree next scan.
+			delete(d.candidate, content)
+			return false
+		}
+		g := &mem.SharedGroup{Content: content}
+		if err := cand.space.AttachShared(cand.page, g); err != nil {
+			return false
+		}
+		if err := s.AttachShared(page, g); err != nil {
+			return false
+		}
+		d.stable[content] = g
+		delete(d.candidate, content)
+		d.merges++
+		return true
+	}
+
+	d.candidate[content] = candidateRef{space: s, page: page}
+	return false
+}
+
+// Merges returns the lifetime count of successful merges (attaches).
+func (d *Daemon) Merges() uint64 { return d.merges }
+
+// PagesScanned returns the lifetime count of pages examined.
+func (d *Daemon) PagesScanned() uint64 { return d.pagesScan }
+
+// SharedGroups returns the number of live (ref > 0) stable groups.
+func (d *Daemon) SharedGroups() int {
+	n := 0
+	for _, g := range d.stable {
+		if g.Refs > 0 {
+			n++
+		}
+	}
+	return n
+}

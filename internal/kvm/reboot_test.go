@@ -1,0 +1,95 @@
+package kvm
+
+import (
+	"errors"
+	"testing"
+
+	"cloudskulk/internal/qemu"
+)
+
+func TestRebootRestoresRunningGuest(t *testing.T) {
+	h := newHost(t)
+	hv := h.Hypervisor()
+	if _, err := hv.CreateVM(smallCfg("g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Launch("g"); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := hv.VM("g")
+	if _, err := vm.RAM().Write(5, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Engine().Now()
+	if err := hv.Reboot("g"); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Running() {
+		t.Fatalf("state = %v", vm.State())
+	}
+	// Reboot costs a boot time and wipes the old contents.
+	if h.Engine().Now()-before != h.BootTime {
+		t.Fatalf("reboot took %v", h.Engine().Now()-before)
+	}
+	if c := vm.RAM().MustRead(5); c == 0xfeed {
+		t.Fatal("pre-reboot memory survived")
+	}
+	// Same process, same endpoint.
+	if _, ok := h.OS().Process(vm.PID()); !ok {
+		t.Fatal("qemu process lost across guest reboot")
+	}
+	if !h.Network().HasEndpoint("g.nic") {
+		t.Fatal("endpoint lost across reboot")
+	}
+}
+
+func TestRebootErrors(t *testing.T) {
+	h := newHost(t)
+	hv := h.Hypervisor()
+	if err := hv.Reboot("ghost"); !errors.Is(err, ErrNoSuchVM) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := hv.CreateVM(smallCfg("g")); err != nil {
+		t.Fatal(err)
+	}
+	// Created (never booted) cannot reboot.
+	if err := hv.Reboot("g"); !errors.Is(err, qemu.ErrBadState) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRebootDetachesKSMSharing(t *testing.T) {
+	h := newHost(t)
+	hv := h.Hypervisor()
+	for _, n := range []string{"a", "b"} {
+		if _, err := hv.CreateVM(smallCfg(n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := hv.Launch(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	va, _ := hv.VM("a")
+	vb, _ := hv.VM("b")
+	if _, err := va.RAM().Write(0, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vb.RAM().Write(0, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	h.KSM().FullPass()
+	h.KSM().FullPass()
+	g, shared := va.RAM().Shared(0)
+	if !shared || g.Refs != 2 {
+		t.Fatalf("merge precondition failed: %v %v", shared, g)
+	}
+	if err := hv.Reboot("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Refs != 1 {
+		t.Fatalf("refs after reboot = %d, want 1", g.Refs)
+	}
+	if _, shared := va.RAM().Shared(0); shared {
+		t.Fatal("rebooted RAM still shared")
+	}
+}

@@ -1,0 +1,120 @@
+package mem
+
+import "math/bits"
+
+// Bitmap is a fixed-size bitset used for per-page dirty tracking. Live
+// migration's pre-copy loop repeatedly harvests and clears it, so the
+// operations are kept allocation-free.
+type Bitmap struct {
+	words []uint64
+	n     int
+	set   int
+}
+
+// NewBitmap returns a bitmap of n bits, all clear.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{
+		words: make([]uint64, (n+63)/64),
+		n:     n,
+	}
+}
+
+// Len returns the number of bits the bitmap tracks.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.set }
+
+// Test reports whether bit i is set. Out-of-range bits read as clear.
+func (b *Bitmap) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set sets bit i. Out-of-range indices are ignored.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	w, m := i/64, uint64(1)<<(uint(i)%64)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.set++
+	}
+}
+
+// Clear clears bit i. Out-of-range indices are ignored.
+func (b *Bitmap) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	w, m := i/64, uint64(1)<<(uint(i)%64)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.set--
+	}
+}
+
+// ClearAll clears every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.set = 0
+}
+
+// SetAll sets every bit.
+func (b *Bitmap) SetAll() {
+	for i := 0; i < b.n; i++ {
+		b.Set(i)
+	}
+}
+
+// ForEach invokes fn for every set bit, in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &^= 1 << uint(bit)
+		}
+	}
+}
+
+// Drain harvests up to max set bits (ascending), clearing them as it goes,
+// and returns their indices. max <= 0 means no limit. This is the
+// "fetch-and-clear the dirty log" primitive pre-copy migration uses.
+func (b *Bitmap) Drain(max int) []int {
+	if max <= 0 || max > b.set {
+		max = b.set
+	}
+	out := make([]int, 0, max)
+	for wi := 0; wi < len(b.words) && len(out) < max; wi++ {
+		w := b.words[wi]
+		for w != 0 && len(out) < max {
+			bit := bits.TrailingZeros64(w)
+			idx := wi*64 + bit
+			out = append(out, idx)
+			w &^= 1 << uint(bit)
+		}
+	}
+	for _, i := range out {
+		b.Clear(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{
+		words: append([]uint64(nil), b.words...),
+		n:     b.n,
+		set:   b.set,
+	}
+	return c
+}

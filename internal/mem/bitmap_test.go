@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130) // spans three words
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitmap len=%d count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("count = %d, want 4", b.Count())
+	}
+	b.Set(63) // idempotent
+	if b.Count() != 4 {
+		t.Fatalf("double-set changed count to %d", b.Count())
+	}
+	b.Clear(63)
+	if b.Test(63) || b.Count() != 3 {
+		t.Fatalf("clear failed: test=%v count=%d", b.Test(63), b.Count())
+	}
+	b.Clear(63) // idempotent
+	if b.Count() != 3 {
+		t.Fatalf("double-clear changed count to %d", b.Count())
+	}
+}
+
+func TestBitmapOutOfRange(t *testing.T) {
+	b := NewBitmap(10)
+	b.Set(-1)
+	b.Set(10)
+	b.Clear(-1)
+	b.Clear(10)
+	if b.Count() != 0 {
+		t.Fatalf("out-of-range ops changed count to %d", b.Count())
+	}
+	if b.Test(-1) || b.Test(10) {
+		t.Fatal("out-of-range Test returned true")
+	}
+}
+
+func TestBitmapNegativeSize(t *testing.T) {
+	b := NewBitmap(-5)
+	if b.Len() != 0 {
+		t.Fatalf("negative-size bitmap len = %d", b.Len())
+	}
+}
+
+func TestBitmapSetAllClearAll(t *testing.T) {
+	b := NewBitmap(100)
+	b.SetAll()
+	if b.Count() != 100 {
+		t.Fatalf("SetAll count = %d", b.Count())
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("ClearAll count = %d", b.Count())
+	}
+}
+
+func TestBitmapForEachAscending(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int{3, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapDrain(t *testing.T) {
+	b := NewBitmap(100)
+	for i := 0; i < 100; i += 2 {
+		b.Set(i)
+	}
+	first := b.Drain(10)
+	if len(first) != 10 {
+		t.Fatalf("Drain(10) returned %d", len(first))
+	}
+	for i, idx := range first {
+		if idx != i*2 {
+			t.Fatalf("Drain returned %v, want ascending evens", first)
+		}
+		if b.Test(idx) {
+			t.Fatalf("drained bit %d still set", idx)
+		}
+	}
+	if b.Count() != 40 {
+		t.Fatalf("count after partial drain = %d, want 40", b.Count())
+	}
+	rest := b.Drain(0) // no limit
+	if len(rest) != 40 || b.Count() != 0 {
+		t.Fatalf("Drain(0) returned %d, count %d", len(rest), b.Count())
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := NewBitmap(64)
+	b.Set(5)
+	c := b.Clone()
+	c.Set(6)
+	if b.Test(6) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !c.Test(5) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+// Property: after setting an arbitrary set of indices, Count equals the
+// number of distinct in-range indices, and Drain returns exactly those in
+// ascending order.
+func TestBitmapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 4096
+		b := NewBitmap(n)
+		distinct := map[int]bool{}
+		for _, r := range raw {
+			i := int(r) % n
+			b.Set(i)
+			distinct[i] = true
+		}
+		if b.Count() != len(distinct) {
+			return false
+		}
+		drained := b.Drain(0)
+		if len(drained) != len(distinct) {
+			return false
+		}
+		for i := 1; i < len(drained); i++ {
+			if drained[i] <= drained[i-1] {
+				return false
+			}
+		}
+		for _, i := range drained {
+			if !distinct[i] {
+				return false
+			}
+		}
+		return b.Count() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package mem models guest physical memory at page granularity.
+//
+// A page's contents are abstracted as a 64-bit Content word: two pages are
+// byte-identical in the modelled system if and only if their Content words
+// are equal. This keeps a 1 GiB guest at ~2 MiB of simulator state while
+// preserving everything KSM, live migration, and the detector care about —
+// identity, uniqueness, and change of page contents.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// PageSize is the modelled page size in bytes (x86 small pages).
+const PageSize = 4096
+
+// Content abstracts the full byte contents of one page. Equal words model
+// byte-identical pages. The zero value models the all-zeroes page, which is
+// what freshly allocated guest RAM contains and what KSM merges aggressively.
+type Content uint64
+
+// ZeroPage is the content of an untouched page.
+const ZeroPage Content = 0
+
+// VMCS signature modelling: a hardware-assisted (VT-x) hypervisor keeps a
+// Virtual Machine Control Structure per vCPU in memory, carrying a
+// recognizable revision identifier. Memory-forensic scanners (Graziano et
+// al., the paper's §VI-E) find nested hypervisors by that signature. A
+// software-MMU hypervisor keeps no VMCS, which is the scanner's blind spot.
+const (
+	// VMCSSignatureMask selects the signature bits of a VMCS page.
+	VMCSSignatureMask Content = 0xFFFFFFFF00000000
+	// VMCSSignature is the modelled revision-identifier pattern.
+	VMCSSignature Content = 0x12AD5EED00000000
+)
+
+// VMCSContent builds the content of a VMCS page for the given vCPU id.
+func VMCSContent(id uint32) Content {
+	return VMCSSignature | Content(id)
+}
+
+// IsVMCS reports whether a page content carries the VMCS signature.
+func IsVMCS(c Content) bool {
+	return c&VMCSSignatureMask == VMCSSignature
+}
+
+// ErrOutOfRange is returned for accesses beyond the end of a space.
+var ErrOutOfRange = errors.New("mem: page number out of range")
+
+// SharedGroup is one KSM-merged physical page: several (space, page) slots
+// all backed by a single read-only frame. Writes to any member must break
+// the sharing (copy-on-write).
+type SharedGroup struct {
+	Content Content
+	Refs    int
+}
+
+type page struct {
+	content Content
+	shared  *SharedGroup
+	// volatile pages change too often for KSM to bother merging
+	// (the ksmd heuristic of skipping pages whose checksum churns).
+	volatile bool
+}
+
+// WriteResult describes what a page write did, so cost models can charge
+// the right amount of virtual time.
+type WriteResult struct {
+	// CowBroken is true when the write hit a KSM-merged page and had to
+	// copy it first — the expensive case the detector's timing probe keys on.
+	CowBroken bool
+	// Changed is true when the written content differed from the old one.
+	Changed bool
+}
+
+// Space is one guest-physical (or host-process) address space.
+type Space struct {
+	name  string
+	pages []page
+	dirty *Bitmap
+
+	writes    uint64
+	cowBreaks uint64
+
+	// onWrite, when set, observes every completed write — the model's
+	// write-protection trap. A hypervisor that write-protects guest
+	// pages to track changes (the paper's §VI-D countermeasure) hangs
+	// its synchronizer here.
+	onWrite func(page int, c Content)
+}
+
+// NewSpace returns a space of sizeBytes rounded up to whole pages, with all
+// pages zero. The name appears in errors and experiment traces.
+func NewSpace(name string, sizeBytes int64) *Space {
+	n := int((sizeBytes + PageSize - 1) / PageSize)
+	return &Space{
+		name:  name,
+		pages: make([]page, n),
+		dirty: NewBitmap(n),
+	}
+}
+
+// Name returns the space's label.
+func (s *Space) Name() string { return s.name }
+
+// NumPages returns the number of pages in the space.
+func (s *Space) NumPages() int { return len(s.pages) }
+
+// SizeBytes returns the space's size in bytes.
+func (s *Space) SizeBytes() int64 { return int64(len(s.pages)) * PageSize }
+
+// Read returns the content of page p.
+func (s *Space) Read(p int) (Content, error) {
+	if p < 0 || p >= len(s.pages) {
+		return 0, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, len(s.pages))
+	}
+	pg := &s.pages[p]
+	if pg.shared != nil {
+		return pg.shared.Content, nil
+	}
+	return pg.content, nil
+}
+
+// MustRead is Read for callers that have already validated the index
+// (tight loops in KSM scans and migration). It panics on out-of-range.
+func (s *Space) MustRead(p int) Content {
+	c, err := s.Read(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Write stores c into page p, breaking copy-on-write sharing if the page is
+// KSM-merged, and marks the page dirty. It reports what happened so callers
+// can charge the appropriate write latency.
+func (s *Space) Write(p int, c Content) (WriteResult, error) {
+	if p < 0 || p >= len(s.pages) {
+		return WriteResult{}, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, len(s.pages))
+	}
+	pg := &s.pages[p]
+	s.writes++
+	var res WriteResult
+	if pg.shared != nil {
+		// Copy-on-write: detach from the shared frame regardless of
+		// whether the new content equals the old — the hardware fault
+		// and page copy happen before the store is inspected.
+		res.CowBroken = true
+		res.Changed = pg.shared.Content != c
+		pg.shared.Refs--
+		pg.shared = nil
+		pg.content = c
+		s.cowBreaks++
+	} else {
+		res.Changed = pg.content != c
+		pg.content = c
+	}
+	s.dirty.Set(p)
+	if s.onWrite != nil {
+		s.onWrite(p, c)
+	}
+	return res, nil
+}
+
+// SetWriteHook installs (or clears, with nil) the write-trap observer.
+// Only one hook is supported — matching the single write-protection
+// mechanism the MMU offers.
+func (s *Space) SetWriteHook(fn func(page int, c Content)) {
+	s.onWrite = fn
+}
+
+// HasWriteHook reports whether a write trap is installed — visible to
+// anyone inspecting the (simulated) hypervisor, which is the paper's point
+// that this countermeasure "could be easily detected".
+func (s *Space) HasWriteHook() bool { return s.onWrite != nil }
+
+// MarkVolatile flags page p as too-frequently-changing for KSM to merge.
+func (s *Space) MarkVolatile(p int, v bool) error {
+	if p < 0 || p >= len(s.pages) {
+		return fmt.Errorf("%w: %s page %d", ErrOutOfRange, s.name, p)
+	}
+	s.pages[p].volatile = v
+	return nil
+}
+
+// Volatile reports whether page p is flagged volatile.
+func (s *Space) Volatile(p int) bool {
+	if p < 0 || p >= len(s.pages) {
+		return false
+	}
+	return s.pages[p].volatile
+}
+
+// Shared reports whether page p is currently KSM-merged, and with which
+// group.
+func (s *Space) Shared(p int) (*SharedGroup, bool) {
+	if p < 0 || p >= len(s.pages) {
+		return nil, false
+	}
+	g := s.pages[p].shared
+	return g, g != nil
+}
+
+// AttachShared points page p at an existing shared group. The page's
+// current content must equal the group's content; merging non-identical
+// pages would corrupt the guest, so this returns an error instead.
+// Only the KSM daemon calls this.
+func (s *Space) AttachShared(p int, g *SharedGroup) error {
+	if p < 0 || p >= len(s.pages) {
+		return fmt.Errorf("%w: %s page %d", ErrOutOfRange, s.name, p)
+	}
+	pg := &s.pages[p]
+	if pg.shared == g {
+		return nil
+	}
+	cur := pg.content
+	if pg.shared != nil {
+		cur = pg.shared.Content
+	}
+	if cur != g.Content {
+		return fmt.Errorf("mem: attach %s page %d: content %#x != group %#x",
+			s.name, p, cur, g.Content)
+	}
+	if pg.shared != nil {
+		pg.shared.Refs--
+	}
+	pg.shared = g
+	g.Refs++
+	return nil
+}
+
+// DirtyCount returns the number of pages written since the dirty log was
+// last drained.
+func (s *Space) DirtyCount() int { return s.dirty.Count() }
+
+// DrainDirty harvests and clears up to max dirty page numbers (max <= 0
+// means all). This models KVM's KVM_GET_DIRTY_LOG fetch-and-clear.
+func (s *Space) DrainDirty(max int) []int { return s.dirty.Drain(max) }
+
+// ClearDirty resets the dirty log without reading it.
+func (s *Space) ClearDirty() { s.dirty.ClearAll() }
+
+// MarkAllDirty flags every page dirty — how pre-copy migration seeds its
+// first round ("transfer everything once").
+func (s *Space) MarkAllDirty() { s.dirty.SetAll() }
+
+// Stats reports lifetime write counters.
+func (s *Space) Stats() (writes, cowBreaks uint64) {
+	return s.writes, s.cowBreaks
+}
+
+// Reset returns every page to zero, detaching any KSM sharing with proper
+// refcount accounting and clearing volatility flags and the dirty log —
+// what a machine reset does to RAM contents.
+func (s *Space) Reset() {
+	for i := range s.pages {
+		if s.pages[i].shared != nil {
+			s.pages[i].shared.Refs--
+			s.pages[i].shared = nil
+		}
+		s.pages[i].content = ZeroPage
+		s.pages[i].volatile = false
+	}
+	s.dirty.ClearAll()
+}
+
+// FillRandom populates the space with guest-like contents: zeroFraction of
+// the pages stay zero (free memory), the rest get contents drawn from rng
+// that are almost surely unique. The dirty log is cleared afterwards so the
+// fill itself doesn't count as guest activity.
+func (s *Space) FillRandom(rng *rand.Rand, zeroFraction float64) {
+	for i := range s.pages {
+		if rng.Float64() < zeroFraction {
+			s.pages[i].content = ZeroPage
+		} else {
+			// Avoid drawing the zero value for a "used" page.
+			s.pages[i].content = Content(rng.Uint64() | 1)
+		}
+		s.pages[i].shared = nil
+	}
+	s.dirty.ClearAll()
+}
+
+// Snapshot copies out the logical contents of every page (resolving shared
+// frames). Migration uses it to verify the memory-equality invariant.
+func (s *Space) Snapshot() []Content {
+	out := make([]Content, len(s.pages))
+	for i := range s.pages {
+		if s.pages[i].shared != nil {
+			out[i] = s.pages[i].shared.Content
+		} else {
+			out[i] = s.pages[i].content
+		}
+	}
+	return out
+}
+
+// Fingerprint hashes the first n pages of the space (clamped to its size).
+// The low pages of guest RAM hold the kernel image, so this models the
+// OS fingerprint a VMI tool would derive; both the fingerprint baseline
+// detector and the attacker's impersonation use it.
+func Fingerprint(s *Space, n int) uint64 {
+	if n > s.NumPages() {
+		n = s.NumPages()
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for p := 0; p < n; p++ {
+		c := uint64(s.MustRead(p))
+		for i := 0; i < 8; i++ {
+			h ^= c & 0xff
+			h *= prime64
+			c >>= 8
+		}
+	}
+	return h
+}
+
+// EqualContents reports whether two spaces hold identical logical contents.
+func EqualContents(a, b *Space) bool {
+	if a.NumPages() != b.NumPages() {
+		return false
+	}
+	for i := 0; i < a.NumPages(); i++ {
+		if a.MustRead(i) != b.MustRead(i) {
+			return false
+		}
+	}
+	return true
+}

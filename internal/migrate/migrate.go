@@ -1,0 +1,554 @@
+// Package migrate implements QEMU-style live migration over the virtual
+// network: the pre-copy algorithm the paper uses (iterative dirty-page
+// rounds, a downtime-bounded stop-and-copy, zero-page compression, and the
+// 32 MiB/s default bandwidth cap that dominates the paper's timings) plus
+// post-copy as the alternative the paper notes the attack also works with.
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/vnet"
+)
+
+// Errors callers match on.
+var (
+	ErrNoIncoming     = errors.New("migrate: no incoming VM at destination")
+	ErrSourceState    = errors.New("migrate: source not migratable")
+	ErrConfigMismatch = errors.New("migrate: destination config mismatch")
+	ErrUnknownVM      = errors.New("migrate: vm not registered with engine")
+	ErrInProgress     = errors.New("migrate: migration already in progress")
+	ErrAborted        = errors.New("migrate: migration aborted")
+	ErrCancelled      = errors.New("migrate: migration cancelled")
+	ErrNotMigrating   = errors.New("migrate: no migration in progress")
+)
+
+// Mode selects the migration algorithm.
+type Mode int
+
+// Migration modes.
+const (
+	// PreCopy iteratively copies dirty pages while the guest runs, then
+	// stops it for a short final pass (the paper's configuration).
+	PreCopy Mode = iota + 1
+	// PostCopy stops the guest immediately, resumes it at the
+	// destination, and pulls pages on demand.
+	PostCopy
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PreCopy:
+		return "pre-copy"
+	case PostCopy:
+		return "post-copy"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Tunables mirror QEMU's migration parameters.
+type Tunables struct {
+	Mode Mode
+	// BandwidthLimit caps the transfer rate in bytes/second; the
+	// effective rate is also bounded by the network link. QEMU 2.9's
+	// default is 32 MiB/s — the reason the paper's 1 GiB idle guest
+	// takes ~26 s to steal.
+	BandwidthLimit int64
+	// DowntimeLimit is the maximum tolerated stop-and-copy pause;
+	// pre-copy iterates until the remaining dirty set fits.
+	DowntimeLimit time.Duration
+	// MaxIterations force-stops pre-copy that is not converging
+	// (workload dirtying faster than the link drains).
+	MaxIterations int
+	// ZeroPageBytes is the on-wire cost of a compressed zero page.
+	ZeroPageBytes int64
+	// NestedReceiveOverhead is the fractional throughput loss when the
+	// destination is a nested (L2) guest: every received page is written
+	// through the L1 hypervisor's emulated EPT, costing exits.
+	NestedReceiveOverhead float64
+
+	// XBZRLE enables delta compression for pages that are re-sent after
+	// changing (QEMU's xbzrle capability): instead of a full page, only
+	// the encoded delta crosses the wire.
+	XBZRLE bool
+	// XBZRLEBytes is the modelled on-wire size of one delta-compressed
+	// page.
+	XBZRLEBytes int64
+	// AutoConverge enables QEMU's auto-converge capability: when
+	// pre-copy is losing to the guest's dirty rate, the guest's vCPU is
+	// throttled in escalating steps until the migration can finish.
+	AutoConverge bool
+	// AutoConvergeInitial is the first throttle fraction, and
+	// AutoConvergeIncrement is added at each escalation (QEMU defaults:
+	// 20% + 10% steps, capped at 99%).
+	AutoConvergeInitial   float64
+	AutoConvergeIncrement float64
+}
+
+// DefaultTunables match QEMU 2.9 defaults on the paper's testbed.
+func DefaultTunables() Tunables {
+	return Tunables{
+		Mode:                  PreCopy,
+		BandwidthLimit:        qemu.DefaultMigrationSpeed,
+		DowntimeLimit:         300 * time.Millisecond,
+		MaxIterations:         1000,
+		ZeroPageBytes:         9,
+		NestedReceiveOverhead: 0.15,
+		XBZRLEBytes:           1024,
+		AutoConvergeInitial:   0.20,
+		AutoConvergeIncrement: 0.10,
+	}
+}
+
+// Result summarizes one completed migration.
+type Result struct {
+	Mode             Mode
+	TotalTime        time.Duration
+	Downtime         time.Duration
+	Iterations       int
+	PagesTransferred int64
+	BytesOnWire      int64
+	Converged        bool
+	// ThrottleSteps counts auto-converge escalations (0 when the
+	// capability is off or never needed).
+	ThrottleSteps int
+	Source        string
+	Destination   string
+}
+
+// Engine is the migration service: it tracks where VMs live on the network
+// and which VMs are listening for incoming streams, and executes
+// migrations in virtual time.
+type Engine struct {
+	eng *sim.Engine
+	net *vnet.Network
+
+	Tunables Tunables
+
+	hostOf    map[*qemu.VM]string
+	incoming  map[vnet.Addr]*qemu.VM
+	active    map[*qemu.VM]bool
+	cancelled map[*qemu.VM]bool
+	results   []Result
+}
+
+// NewEngine returns a migration engine with default tunables.
+func NewEngine(eng *sim.Engine, network *vnet.Network) *Engine {
+	return &Engine{
+		eng:       eng,
+		net:       network,
+		Tunables:  DefaultTunables(),
+		hostOf:    make(map[*qemu.VM]string),
+		incoming:  make(map[vnet.Addr]*qemu.VM),
+		active:    make(map[*qemu.VM]bool),
+		cancelled: make(map[*qemu.VM]bool),
+	}
+}
+
+// CancelMigration flags an in-flight migration of vm for cancellation; the
+// engine aborts it at the next round boundary and resumes the source —
+// the monitor's migrate_cancel.
+func (e *Engine) CancelMigration(vm *qemu.VM) error {
+	if !e.active[vm] {
+		return fmt.Errorf("%w: %q", ErrNotMigrating, vm.Name())
+	}
+	e.cancelled[vm] = true
+	return nil
+}
+
+var (
+	_ qemu.MigrationCanceller = (*Engine)(nil)
+	_ qemu.CapabilitySetter   = (*Engine)(nil)
+)
+
+// SetMigrationCapability toggles a QEMU-style migration capability. The
+// engine's tunables are shared across migrations it runs, mirroring a
+// management stack configuring the host's migration defaults.
+func (e *Engine) SetMigrationCapability(_ *qemu.VM, name string, on bool) error {
+	switch name {
+	case "xbzrle":
+		e.Tunables.XBZRLE = on
+	case "auto-converge":
+		e.Tunables.AutoConverge = on
+	default:
+		return fmt.Errorf("migrate: unknown capability %q", name)
+	}
+	return nil
+}
+
+// RegisterVM records the network endpoint hosting the VM's QEMU process.
+func (e *Engine) RegisterVM(vm *qemu.VM, hostEndpoint string) {
+	e.hostOf[vm] = hostEndpoint
+}
+
+// RegisterIncoming announces an -incoming listener.
+func (e *Engine) RegisterIncoming(vm *qemu.VM, addr vnet.Addr) error {
+	if cur, dup := e.incoming[addr]; dup && cur != vm {
+		return fmt.Errorf("migrate: incoming address %s already registered", addr)
+	}
+	e.incoming[addr] = vm
+	return nil
+}
+
+// UnregisterIncoming removes a listener.
+func (e *Engine) UnregisterIncoming(addr vnet.Addr) {
+	delete(e.incoming, addr)
+}
+
+// Results returns all completed migration results, oldest first.
+func (e *Engine) Results() []Result {
+	return append([]Result(nil), e.results...)
+}
+
+// LastResult returns the most recent result, if any.
+func (e *Engine) LastResult() (Result, bool) {
+	if len(e.results) == 0 {
+		return Result{}, false
+	}
+	return e.results[len(e.results)-1], true
+}
+
+// Migrate implements qemu.Migrator: the monitor's `migrate tcp:host:port`.
+// The URI's host part is interpreted from the source QEMU process's
+// vantage point: its hosting endpoint (127.0.0.1 on the host is the host
+// itself). Forwarding chains are then resolved exactly like real
+// connections, which is how the double port-forward reaches the nested VM.
+func (e *Engine) Migrate(vm *qemu.VM, uri string) error {
+	port, err := qemu.ParseIncomingPort(uri)
+	if err != nil {
+		return err
+	}
+	srcHost, ok := e.hostOf[vm]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVM, vm.Name())
+	}
+	return e.MigrateTo(vm, vnet.Addr{Endpoint: srcHost, Port: port})
+}
+
+// MigrateTo migrates vm to the incoming VM reachable at target (after
+// forward-chain resolution). It runs the whole migration in virtual time
+// and returns when the destination has taken over.
+func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
+	if e.active[vm] {
+		return fmt.Errorf("%w: %q", ErrInProgress, vm.Name())
+	}
+	if vm.State() != qemu.StateRunning && vm.State() != qemu.StatePaused {
+		return fmt.Errorf("%w: %q is %v", ErrSourceState, vm.Name(), vm.State())
+	}
+	final, _, err := e.net.ResolveForward(target)
+	if err != nil {
+		return err
+	}
+	dst, ok := e.incoming[final]
+	if !ok {
+		return fmt.Errorf("%w: %s (resolved from %s)", ErrNoIncoming, final, target)
+	}
+	if dst.State() != qemu.StateIncoming {
+		return fmt.Errorf("%w: destination %q is %v", ErrNoIncoming, dst.Name(), dst.State())
+	}
+	if err := vm.Config().MatchesForMigration(dst.Config()); err != nil {
+		vm.SetMigrationInfo(qemu.MigrationInfo{Status: "failed"})
+		return fmt.Errorf("%w: %v", ErrConfigMismatch, err)
+	}
+
+	e.active[vm] = true
+	defer func() {
+		delete(e.active, vm)
+		delete(e.cancelled, vm)
+	}()
+
+	wasRunning := vm.State() == qemu.StateRunning
+	var res Result
+	switch e.Tunables.Mode {
+	case PostCopy:
+		res, err = e.runPostCopy(vm, dst)
+	default:
+		res, err = e.runPreCopy(vm, dst)
+	}
+	if err != nil {
+		status := "failed"
+		if errors.Is(err, ErrCancelled) {
+			status = "cancelled"
+		}
+		vm.SetMigrationInfo(qemu.MigrationInfo{Status: status})
+		// An aborted migration hands the guest back: if we paused it
+		// for stop-and-copy or throttling, it resumes.
+		if wasRunning && vm.State() == qemu.StatePaused {
+			if rerr := vm.Resume(); rerr != nil {
+				return fmt.Errorf("%w (and resume failed: %v)", err, rerr)
+			}
+		}
+		return err
+	}
+	res.Source = vm.Name()
+	res.Destination = dst.Name()
+	e.results = append(e.results, res)
+	return nil
+}
+
+// effectiveBandwidth computes the modelled transfer rate between source
+// host and destination endpoint, honoring the speed cap, the link, and the
+// nested-receive penalty.
+func (e *Engine) effectiveBandwidth(vm, dst *qemu.VM) (int64, error) {
+	srcHost := e.hostOf[vm]
+	link := e.net.Link(srcHost, dst.Endpoint())
+	if link.Down {
+		return 0, fmt.Errorf("%w: link down", ErrAborted)
+	}
+	bw := e.Tunables.BandwidthLimit
+	if limit := vm.Monitor().SpeedLimit(); limit > 0 && limit < bw {
+		bw = limit
+	}
+	if link.Bandwidth > 0 && link.Bandwidth < bw {
+		bw = link.Bandwidth
+	}
+	if dst.Level() >= cpu.L2 {
+		bw = int64(float64(bw) / (1 + e.Tunables.NestedReceiveOverhead))
+	}
+	if bw <= 0 {
+		return 0, fmt.Errorf("%w: no bandwidth", ErrAborted)
+	}
+	return bw, nil
+}
+
+// transferPages copies the given source pages to the destination RAM and
+// returns the on-wire byte count. Zero pages compress to a header; with
+// XBZRLE enabled, pages being *re-sent* (already in the destination from a
+// previous round) cost only a delta.
+func (e *Engine) transferPages(src, dst *mem.Space, pages []int, sent map[int]bool) (int64, error) {
+	var bytes int64
+	for _, p := range pages {
+		c, err := src.Read(p)
+		if err != nil {
+			return bytes, err
+		}
+		resend := sent != nil && sent[p]
+		if _, err := dst.Write(p, c); err != nil {
+			return bytes, err
+		}
+		switch {
+		case c == mem.ZeroPage:
+			bytes += e.Tunables.ZeroPageBytes
+		case e.Tunables.XBZRLE && resend:
+			bytes += e.Tunables.XBZRLEBytes
+		default:
+			bytes += mem.PageSize
+		}
+		if sent != nil {
+			sent[p] = true
+		}
+	}
+	return bytes, nil
+}
+
+func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
+	start := e.eng.Now()
+	src := vm.RAM()
+	dram := dst.RAM()
+	res := Result{Mode: PreCopy}
+
+	totalMB := float64(vm.Config().MemoryMB)
+	// Round 1 transfers all of RAM.
+	src.MarkAllDirty()
+
+	var sent map[int]bool
+	if e.Tunables.XBZRLE {
+		sent = make(map[int]bool, src.NumPages())
+	}
+	throttle := 0.0
+	converged := false
+	for res.Iterations < e.Tunables.MaxIterations {
+		if e.cancelled[vm] {
+			return res, fmt.Errorf("%w: %q", ErrCancelled, vm.Name())
+		}
+		bw, err := e.effectiveBandwidth(vm, dst)
+		if err != nil {
+			return res, err
+		}
+		pages := src.DrainDirty(0)
+		if len(pages) == 0 {
+			converged = true
+			break
+		}
+		res.Iterations++
+		wire, err := e.transferPages(src, dram, pages, sent)
+		if err != nil {
+			return res, err
+		}
+		res.PagesTransferred += int64(len(pages))
+		res.BytesOnWire += wire
+		dur := time.Duration(float64(wire) / float64(bw) * float64(time.Second))
+		// The guest (and everything else on the engine) keeps running
+		// while the round streams; its writes re-dirty pages. Under
+		// auto-converge throttling the guest is stalled for part of
+		// each round, suppressing its dirty rate.
+		if throttle > 0 && vm.State() == qemu.StateRunning {
+			stall := time.Duration(float64(dur) * throttle)
+			if err := vm.Pause(); err != nil {
+				return res, err
+			}
+			e.eng.RunFor(stall)
+			if err := vm.Resume(); err != nil {
+				return res, err
+			}
+			e.eng.RunFor(dur - stall)
+		} else {
+			e.eng.RunFor(dur)
+		}
+
+		vm.SetMigrationInfo(qemu.MigrationInfo{
+			Status:        "active",
+			TransferredMB: float64(res.BytesOnWire) / (1 << 20),
+			RemainingMB:   float64(src.DirtyCount()) * mem.PageSize / (1 << 20),
+			TotalMB:       totalMB,
+			Iterations:    res.Iterations,
+			TotalTime:     e.eng.Now() - start,
+		})
+
+		// Converged when the remaining dirty set fits in the downtime
+		// budget.
+		remaining := int64(src.DirtyCount()) * mem.PageSize
+		if time.Duration(float64(remaining)/float64(bw)*float64(time.Second)) <= e.Tunables.DowntimeLimit {
+			converged = true
+			break
+		}
+		// Auto-converge: if this round re-dirtied at least as much as
+		// it transferred, escalate the throttle. At maximum throttle
+		// the guest is effectively stopped, so the migration proceeds
+		// straight to stop-and-copy (trading downtime for completion,
+		// exactly the capability's contract).
+		if e.Tunables.AutoConverge && src.DirtyCount() >= len(pages)*9/10 {
+			if throttle == 0 {
+				throttle = e.Tunables.AutoConvergeInitial
+			} else {
+				throttle += e.Tunables.AutoConvergeIncrement
+			}
+			res.ThrottleSteps++
+			if throttle >= 0.99 {
+				converged = true
+				break
+			}
+		}
+	}
+
+	// Stop-and-copy: pause the source, transfer the remaining dirty
+	// pages, hand off.
+	if vm.State() == qemu.StateRunning {
+		if err := vm.Pause(); err != nil {
+			return res, err
+		}
+	}
+	downStart := e.eng.Now()
+	bw, err := e.effectiveBandwidth(vm, dst)
+	if err != nil {
+		return res, err
+	}
+	pages := src.DrainDirty(0)
+	wire, err := e.transferPages(src, dram, pages, sent)
+	if err != nil {
+		return res, err
+	}
+	if len(pages) > 0 {
+		res.Iterations++
+	}
+	res.PagesTransferred += int64(len(pages))
+	res.BytesOnWire += wire
+	e.eng.RunFor(time.Duration(float64(wire) / float64(bw) * float64(time.Second)))
+
+	if err := e.handoff(vm, dst); err != nil {
+		return res, err
+	}
+	res.Downtime = e.eng.Now() - downStart
+	res.TotalTime = e.eng.Now() - start
+	res.Converged = converged
+	e.finishInfo(vm, dst, res, totalMB)
+	return res, nil
+}
+
+func (e *Engine) runPostCopy(vm, dst *qemu.VM) (Result, error) {
+	start := e.eng.Now()
+	src := vm.RAM()
+	dram := dst.RAM()
+	res := Result{Mode: PostCopy}
+	totalMB := float64(vm.Config().MemoryMB)
+
+	// Stop the source immediately: downtime is just the device-state
+	// switch.
+	if vm.State() == qemu.StateRunning {
+		if err := vm.Pause(); err != nil {
+			return res, err
+		}
+	}
+	downStart := e.eng.Now()
+	if err := e.handoff(vm, dst); err != nil {
+		return res, err
+	}
+	res.Downtime = e.eng.Now() - downStart
+
+	// Background + demand-paged pull of all of RAM. Demand faults make
+	// the effective rate worse than a sequential stream.
+	bw, err := e.effectiveBandwidth(vm, dst)
+	if err != nil {
+		return res, err
+	}
+	bw = int64(float64(bw) * 0.9) // fault round trips steal ~10%
+	src.MarkAllDirty()
+	pages := src.DrainDirty(0)
+	// Post-copy sends each page exactly once; XBZRLE has nothing to do.
+	wire, terr := e.transferPages(src, dram, pages, nil)
+	if terr != nil {
+		return res, terr
+	}
+	res.Iterations = 1
+	res.PagesTransferred = int64(len(pages))
+	res.BytesOnWire = wire
+	e.eng.RunFor(time.Duration(float64(wire) / float64(bw) * float64(time.Second)))
+
+	res.TotalTime = e.eng.Now() - start
+	res.Converged = true
+	e.finishInfo(vm, dst, res, totalMB)
+	return res, nil
+}
+
+// handoff flips execution from source to destination: the destination
+// leaves incoming state and starts running; the source stays paused (the
+// attacker kills it moments later; a legitimate migration does the same).
+func (e *Engine) handoff(vm, dst *qemu.VM) error {
+	// Device-state transfer: a few milliseconds.
+	e.eng.RunFor(5 * time.Millisecond)
+	if err := dst.FinishIncoming(); err != nil {
+		return err
+	}
+	if err := dst.Resume(); err != nil {
+		return err
+	}
+	// The destination now owns the incoming address no longer.
+	for addr, v := range e.incoming {
+		if v == dst {
+			delete(e.incoming, addr)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) finishInfo(vm, dst *qemu.VM, res Result, totalMB float64) {
+	info := qemu.MigrationInfo{
+		Status:        "completed",
+		TransferredMB: float64(res.BytesOnWire) / (1 << 20),
+		RemainingMB:   0,
+		TotalMB:       totalMB,
+		Downtime:      res.Downtime,
+		TotalTime:     res.TotalTime,
+		Iterations:    res.Iterations,
+	}
+	vm.SetMigrationInfo(info)
+	dst.SetMigrationInfo(info)
+}

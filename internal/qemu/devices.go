@@ -1,0 +1,92 @@
+package qemu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderQtree produces the `info qtree` view: the emulated device tree an
+// attacker reads to learn what devices the destination VM must replicate.
+func renderQtree(cfg Config) string {
+	var b strings.Builder
+	b.WriteString("bus: main-system-bus\n")
+	b.WriteString("  type System\n")
+	fmt.Fprintf(&b, "  dev: i440FX-pcihost, id \"\"\n")
+	b.WriteString("    bus: pci.0\n")
+	b.WriteString("      type PCI\n")
+	for i, nd := range cfg.NetDevs {
+		fmt.Fprintf(&b, "      dev: %s, id \"net%d\"\n", nd.Model, i)
+		fmt.Fprintf(&b, "        mac = \"52:54:00:12:34:%02x\"\n", 0x56+i)
+		fmt.Fprintf(&b, "        netdev = \"net%d\"\n", i)
+	}
+	for i, d := range cfg.Drives {
+		fmt.Fprintf(&b, "      dev: virtio-blk-pci, id \"drive%d\"\n", i)
+		fmt.Fprintf(&b, "        drive = \"%s\"\n", d.File)
+		fmt.Fprintf(&b, "        logical_block_size = 512\n")
+	}
+	return b.String()
+}
+
+// renderMtree produces the `info mtree` view: the guest-physical memory
+// map, which reveals the VM's RAM size.
+func renderMtree(cfg Config) string {
+	var b strings.Builder
+	ramBytes := cfg.MemoryMB << 20
+	b.WriteString("memory\n")
+	fmt.Fprintf(&b, "  0000000000000000-%016x (prio 0, ram): pc.ram\n", ramBytes-1)
+	b.WriteString("  00000000fffc0000-00000000ffffffff (prio 0, rom): pc.bios\n")
+	return b.String()
+}
+
+// renderMem produces the `info mem` view: a summary of active mappings.
+func renderMem(vm *VM) string {
+	var b strings.Builder
+	total := vm.RAM().NumPages()
+	dirty := vm.RAM().DirtyCount()
+	fmt.Fprintf(&b, "total pages: %d (%d MB)\n", total, vm.Config().MemoryMB)
+	fmt.Fprintf(&b, "dirty pages: %d\n", dirty)
+	return b.String()
+}
+
+// renderBlockstats produces the `info blockstats` view.
+func renderBlockstats(vm *VM) string {
+	var b strings.Builder
+	cfg := vm.Config()
+	for i := range cfg.Drives {
+		st, _ := vm.BlockStatsFor(i)
+		fmt.Fprintf(&b,
+			"drive%d: rd_bytes=%d wr_bytes=%d rd_operations=%d wr_operations=%d\n",
+			i, st.RdBytes, st.WrBytes, st.RdOps, st.WrOps)
+	}
+	return b.String()
+}
+
+// renderNetwork produces the `info network` view, exposing device models
+// and host-forwarding rules.
+func renderNetwork(cfg Config) string {
+	var b strings.Builder
+	for i, nd := range cfg.NetDevs {
+		fmt.Fprintf(&b, "net%d: model=%s\n", i, nd.Model)
+		for _, f := range nd.HostFwds {
+			fmt.Fprintf(&b, "  hostfwd: tcp::%d -> :%d\n", f.HostPort, f.GuestPort)
+		}
+	}
+	return b.String()
+}
+
+// renderMigrate produces the `info migrate` view.
+func renderMigrate(vm *VM) string {
+	mi := vm.MigrationStatus()
+	if mi.Status == "" {
+		return "no migration in progress\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Migration status: %s\n", mi.Status)
+	fmt.Fprintf(&b, "transferred ram: %.0f MB\n", mi.TransferredMB)
+	fmt.Fprintf(&b, "remaining ram: %.0f MB\n", mi.RemainingMB)
+	fmt.Fprintf(&b, "total ram: %.0f MB\n", mi.TotalMB)
+	fmt.Fprintf(&b, "iterations: %d\n", mi.Iterations)
+	fmt.Fprintf(&b, "downtime: %d ms\n", mi.Downtime.Milliseconds())
+	fmt.Fprintf(&b, "total time: %d ms\n", mi.TotalTime.Milliseconds())
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package qemu
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// QMP is the QEMU Machine Protocol: the JSON-RPC-style counterpart of the
+// human monitor. Management stacks (libvirt) use QMP rather than HMP, so a
+// realistic cloud host exposes both; the attacker's recon works over
+// either.
+//
+// Protocol shape (as in real QEMU):
+//
+//	S: {"QMP": {"version": {...}, "capabilities": []}}
+//	C: {"execute": "qmp_capabilities"}
+//	S: {"return": {}}
+//	C: {"execute": "query-status"}
+//	S: {"return": {"status": "running", "running": true}}
+//
+// Commands before capability negotiation are rejected, as in real QEMU.
+
+// ErrQMPNegotiation is returned when a command arrives before
+// qmp_capabilities.
+var ErrQMPNegotiation = errors.New("qemu: qmp capabilities not negotiated")
+
+// QMPCommand is a client request.
+type QMPCommand struct {
+	Execute   string          `json:"execute"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+	ID        any             `json:"id,omitempty"`
+}
+
+// QMPError is the error payload of a failed command.
+type QMPError struct {
+	Class string `json:"class"`
+	Desc  string `json:"desc"`
+}
+
+// QMPResponse is a server reply.
+type QMPResponse struct {
+	Return json.RawMessage `json:"return,omitempty"`
+	Error  *QMPError       `json:"error,omitempty"`
+	ID     any             `json:"id,omitempty"`
+}
+
+// QMPGreeting is the banner sent on connect.
+type QMPGreeting struct {
+	QMP struct {
+		Version struct {
+			Qemu struct {
+				Major int `json:"major"`
+				Minor int `json:"minor"`
+				Micro int `json:"micro"`
+			} `json:"qemu"`
+			Package string `json:"package"`
+		} `json:"version"`
+		Capabilities []string `json:"capabilities"`
+	} `json:"QMP"`
+}
+
+// QMPServer serves the machine protocol for one VM.
+type QMPServer struct {
+	vm         *VM
+	negotiated bool
+}
+
+// QMP returns a fresh protocol server bound to the VM. Each connection
+// gets its own server (negotiation state is per-session).
+func (v *VM) QMP() *QMPServer {
+	return &QMPServer{vm: v}
+}
+
+// Greeting returns the connect banner.
+func (q *QMPServer) Greeting() QMPGreeting {
+	var g QMPGreeting
+	g.QMP.Version.Qemu.Major = 2
+	g.QMP.Version.Qemu.Minor = 9
+	g.QMP.Version.Qemu.Micro = 50
+	g.QMP.Version.Package = "v2.9.0-989-g43771d5"
+	g.QMP.Capabilities = []string{}
+	return g
+}
+
+// Execute runs one QMP command and returns the response. It never returns
+// a Go error for protocol-level failures — those become QMPError payloads,
+// matching the wire behaviour.
+func (q *QMPServer) Execute(cmd QMPCommand) QMPResponse {
+	resp := QMPResponse{ID: cmd.ID}
+	fail := func(desc string) QMPResponse {
+		resp.Error = &QMPError{Class: "GenericError", Desc: desc}
+		return resp
+	}
+	ok := func(v any) QMPResponse {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fail(err.Error())
+		}
+		resp.Return = raw
+		return resp
+	}
+
+	if cmd.Execute != "qmp_capabilities" && !q.negotiated {
+		resp.Error = &QMPError{Class: "CommandNotFound", Desc: ErrQMPNegotiation.Error()}
+		return resp
+	}
+
+	switch cmd.Execute {
+	case "qmp_capabilities":
+		q.negotiated = true
+		return ok(map[string]any{})
+	case "query-status":
+		return ok(map[string]any{
+			"status":  q.vm.State().String(),
+			"running": q.vm.Running(),
+		})
+	case "query-name":
+		return ok(map[string]any{"name": q.vm.Name()})
+	case "query-block":
+		type blockInfo struct {
+			Device string `json:"device"`
+			File   string `json:"file"`
+			Format string `json:"driver"`
+			SizeMB int64  `json:"size_mb"`
+		}
+		cfg := q.vm.Config()
+		out := make([]blockInfo, 0, len(cfg.Drives))
+		for i, d := range cfg.Drives {
+			out = append(out, blockInfo{
+				Device: fmt.Sprintf("drive%d", i),
+				File:   d.File,
+				Format: d.Format,
+				SizeMB: d.SizeMB,
+			})
+		}
+		return ok(out)
+	case "query-blockstats":
+		type stats struct {
+			Device string `json:"device"`
+			RdB    uint64 `json:"rd_bytes"`
+			WrB    uint64 `json:"wr_bytes"`
+			RdOps  uint64 `json:"rd_operations"`
+			WrOps  uint64 `json:"wr_operations"`
+		}
+		cfg := q.vm.Config()
+		out := make([]stats, 0, len(cfg.Drives))
+		for i := range cfg.Drives {
+			st, _ := q.vm.BlockStatsFor(i)
+			out = append(out, stats{
+				Device: fmt.Sprintf("drive%d", i),
+				RdB:    st.RdBytes, WrB: st.WrBytes,
+				RdOps: st.RdOps, WrOps: st.WrOps,
+			})
+		}
+		return ok(out)
+	case "query-memory-size-summary":
+		return ok(map[string]any{
+			"base-memory": q.vm.Config().MemoryMB << 20,
+		})
+	case "query-migrate":
+		mi := q.vm.MigrationStatus()
+		status := mi.Status
+		if status == "" {
+			status = "none"
+		}
+		return ok(map[string]any{
+			"status": status,
+			"ram": map[string]any{
+				"transferred": int64(mi.TransferredMB * (1 << 20)),
+				"remaining":   int64(mi.RemainingMB * (1 << 20)),
+				"total":       int64(mi.TotalMB * (1 << 20)),
+			},
+			"downtime":   mi.Downtime.Milliseconds(),
+			"total-time": mi.TotalTime.Milliseconds(),
+		})
+	case "stop":
+		if err := q.vm.Pause(); err != nil {
+			return fail(err.Error())
+		}
+		return ok(map[string]any{})
+	case "cont":
+		if err := q.vm.Resume(); err != nil {
+			return fail(err.Error())
+		}
+		return ok(map[string]any{})
+	case "quit":
+		if err := q.vm.Shutdown(); err != nil {
+			return fail(err.Error())
+		}
+		return ok(map[string]any{})
+	case "migrate":
+		var args struct {
+			URI string `json:"uri"`
+		}
+		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.URI == "" {
+			return fail("migrate requires a uri argument")
+		}
+		if q.vm.migrator == nil {
+			return fail(ErrNoMigrator.Error())
+		}
+		if err := q.vm.migrator.Migrate(q.vm, args.URI); err != nil {
+			return fail(err.Error())
+		}
+		return ok(map[string]any{})
+	case "migrate_set_speed":
+		var args struct {
+			Value int64 `json:"value"`
+		}
+		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.Value <= 0 {
+			return fail("migrate_set_speed requires a positive value")
+		}
+		q.vm.Monitor().speedLimit = args.Value
+		return ok(map[string]any{})
+	default:
+		resp.Error = &QMPError{
+			Class: "CommandNotFound",
+			Desc:  fmt.Sprintf("The command %s has not been found", cmd.Execute),
+		}
+		return resp
+	}
+}
+
+// Serve runs a QMP session over conn: banner, then line-delimited JSON
+// commands until EOF or quit.
+func (q *QMPServer) Serve(conn net.Conn) error {
+	defer func() { _ = conn.Close() }()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(q.Greeting()); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var cmd QMPCommand
+		if err := json.Unmarshal(line, &cmd); err != nil {
+			if err := enc.Encode(QMPResponse{Error: &QMPError{
+				Class: "GenericError",
+				Desc:  "invalid JSON: " + err.Error(),
+			}}); err != nil {
+				return err
+			}
+			continue
+		}
+		resp := q.Execute(cmd)
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		if cmd.Execute == "quit" && resp.Error == nil {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return err
+	}
+	return nil
+}

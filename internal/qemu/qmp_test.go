@@ -1,0 +1,256 @@
+package qemu
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+func qmpExec(t *testing.T, q *QMPServer, execute string, args string) QMPResponse {
+	t.Helper()
+	cmd := QMPCommand{Execute: execute}
+	if args != "" {
+		cmd.Arguments = json.RawMessage(args)
+	}
+	return q.Execute(cmd)
+}
+
+func negotiate(t *testing.T, q *QMPServer) {
+	t.Helper()
+	if resp := qmpExec(t, q, "qmp_capabilities", ""); resp.Error != nil {
+		t.Fatalf("negotiation failed: %+v", resp.Error)
+	}
+}
+
+func TestQMPRequiresNegotiation(t *testing.T) {
+	vm := runningVM(t)
+	q := vm.QMP()
+	resp := qmpExec(t, q, "query-status", "")
+	if resp.Error == nil || resp.Error.Class != "CommandNotFound" {
+		t.Fatalf("pre-negotiation command: %+v", resp)
+	}
+	negotiate(t, q)
+	if resp := qmpExec(t, q, "query-status", ""); resp.Error != nil {
+		t.Fatalf("post-negotiation command: %+v", resp.Error)
+	}
+}
+
+func TestQMPQueryCommands(t *testing.T) {
+	vm := runningVM(t)
+	vm.RecordBlockIO(0, 111, 222, 3, 4)
+	q := vm.QMP()
+	negotiate(t, q)
+
+	var status struct {
+		Status  string `json:"status"`
+		Running bool   `json:"running"`
+	}
+	resp := qmpExec(t, q, "query-status", "")
+	if err := json.Unmarshal(resp.Return, &status); err != nil {
+		t.Fatal(err)
+	}
+	if !status.Running || status.Status != "running" {
+		t.Fatalf("status = %+v", status)
+	}
+
+	var name struct {
+		Name string `json:"name"`
+	}
+	resp = qmpExec(t, q, "query-name", "")
+	if err := json.Unmarshal(resp.Return, &name); err != nil {
+		t.Fatal(err)
+	}
+	if name.Name != "guest0" {
+		t.Fatalf("name = %+v", name)
+	}
+
+	var blocks []struct {
+		Device string `json:"device"`
+		File   string `json:"file"`
+		Driver string `json:"driver"`
+	}
+	resp = qmpExec(t, q, "query-block", "")
+	if err := json.Unmarshal(resp.Return, &blocks); err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].File != "guest0.qcow2" || blocks[0].Driver != "qcow2" {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+
+	var bstats []struct {
+		RdB uint64 `json:"rd_bytes"`
+		WrB uint64 `json:"wr_bytes"`
+	}
+	resp = qmpExec(t, q, "query-blockstats", "")
+	if err := json.Unmarshal(resp.Return, &bstats); err != nil {
+		t.Fatal(err)
+	}
+	if bstats[0].RdB != 111 || bstats[0].WrB != 222 {
+		t.Fatalf("blockstats = %+v", bstats)
+	}
+
+	var memory struct {
+		Base int64 `json:"base-memory"`
+	}
+	resp = qmpExec(t, q, "query-memory-size-summary", "")
+	if err := json.Unmarshal(resp.Return, &memory); err != nil {
+		t.Fatal(err)
+	}
+	if memory.Base != 8<<20 {
+		t.Fatalf("memory = %+v", memory)
+	}
+
+	var mig struct {
+		Status string `json:"status"`
+	}
+	resp = qmpExec(t, q, "query-migrate", "")
+	if err := json.Unmarshal(resp.Return, &mig); err != nil {
+		t.Fatal(err)
+	}
+	if mig.Status != "none" {
+		t.Fatalf("migrate = %+v", mig)
+	}
+}
+
+func TestQMPLifecycleCommands(t *testing.T) {
+	vm := runningVM(t)
+	q := vm.QMP()
+	negotiate(t, q)
+	if resp := qmpExec(t, q, "stop", ""); resp.Error != nil {
+		t.Fatalf("stop: %+v", resp.Error)
+	}
+	if vm.State() != StatePaused {
+		t.Fatalf("state = %v", vm.State())
+	}
+	// Double stop fails with a GenericError, not a panic.
+	if resp := qmpExec(t, q, "stop", ""); resp.Error == nil {
+		t.Fatal("double stop succeeded")
+	}
+	if resp := qmpExec(t, q, "cont", ""); resp.Error != nil {
+		t.Fatalf("cont: %+v", resp.Error)
+	}
+	if resp := qmpExec(t, q, "quit", ""); resp.Error != nil {
+		t.Fatalf("quit: %+v", resp.Error)
+	}
+	if vm.State() != StateShutOff {
+		t.Fatalf("state = %v", vm.State())
+	}
+}
+
+func TestQMPMigrate(t *testing.T) {
+	vm := runningVM(t)
+	fm := &fakeMigrator{}
+	vm.SetMigrator(fm)
+	q := vm.QMP()
+	negotiate(t, q)
+	if resp := qmpExec(t, q, "migrate", `{"uri":"tcp:127.0.0.1:4444"}`); resp.Error != nil {
+		t.Fatalf("migrate: %+v", resp.Error)
+	}
+	if fm.uri != "tcp:127.0.0.1:4444" {
+		t.Fatalf("migrator uri = %q", fm.uri)
+	}
+	if resp := qmpExec(t, q, "migrate", `{}`); resp.Error == nil {
+		t.Fatal("migrate without uri succeeded")
+	}
+	if resp := qmpExec(t, q, "migrate_set_speed", `{"value":1073741824}`); resp.Error != nil {
+		t.Fatalf("set speed: %+v", resp.Error)
+	}
+	if vm.Monitor().SpeedLimit() != 1<<30 {
+		t.Fatalf("speed = %d", vm.Monitor().SpeedLimit())
+	}
+	if resp := qmpExec(t, q, "migrate_set_speed", `{"value":-1}`); resp.Error == nil {
+		t.Fatal("negative speed accepted")
+	}
+}
+
+func TestQMPUnknownCommand(t *testing.T) {
+	vm := runningVM(t)
+	q := vm.QMP()
+	negotiate(t, q)
+	resp := qmpExec(t, q, "device_add", "")
+	if resp.Error == nil || resp.Error.Class != "CommandNotFound" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestQMPIDEcho(t *testing.T) {
+	vm := runningVM(t)
+	q := vm.QMP()
+	resp := q.Execute(QMPCommand{Execute: "qmp_capabilities", ID: "req-7"})
+	if resp.ID != "req-7" {
+		t.Fatalf("id = %v", resp.ID)
+	}
+}
+
+func TestQMPServeSession(t *testing.T) {
+	vm := runningVM(t)
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- vm.QMP().Serve(server) }()
+
+	r := bufio.NewReader(client)
+	readResp := func() QMPResponse {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		var resp QMPResponse
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		return resp
+	}
+	greetLine, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greeting QMPGreeting
+	if err := json.Unmarshal(greetLine, &greeting); err != nil {
+		t.Fatal(err)
+	}
+	if greeting.QMP.Version.Qemu.Major != 2 || greeting.QMP.Version.Qemu.Minor != 9 {
+		t.Fatalf("greeting = %+v", greeting)
+	}
+
+	send := func(s string) {
+		if _, err := fmt.Fprintln(client, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(`{"execute":"qmp_capabilities"}`)
+	if resp := readResp(); resp.Error != nil {
+		t.Fatalf("caps: %+v", resp.Error)
+	}
+	send(`{"execute":"query-name"}`)
+	if resp := readResp(); !strings.Contains(string(resp.Return), "guest0") {
+		t.Fatalf("query-name = %s", resp.Return)
+	}
+	send(`not json at all`)
+	if resp := readResp(); resp.Error == nil || !strings.Contains(resp.Error.Desc, "invalid JSON") {
+		t.Fatalf("bad json resp = %+v", resp)
+	}
+	send(`{"execute":"quit"}`)
+	if resp := readResp(); resp.Error != nil {
+		t.Fatalf("quit: %+v", resp.Error)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if vm.State() != StateShutOff {
+		t.Fatalf("state = %v", vm.State())
+	}
+	_ = client.Close()
+}
+
+func TestQMPPerSessionNegotiation(t *testing.T) {
+	vm := runningVM(t)
+	a, b := vm.QMP(), vm.QMP()
+	negotiate(t, a)
+	// Session b is independent and still un-negotiated.
+	if resp := qmpExec(t, b, "query-status", ""); resp.Error == nil {
+		t.Fatal("negotiation leaked across sessions")
+	}
+}

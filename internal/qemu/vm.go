@@ -1,0 +1,306 @@
+package qemu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/sim"
+)
+
+// State is a VM lifecycle state.
+type State int
+
+// VM lifecycle states.
+const (
+	// StateCreated: process exists, guest not started.
+	StateCreated State = iota + 1
+	// StateRunning: guest executing.
+	StateRunning
+	// StatePaused: guest stopped (monitor `stop`).
+	StatePaused
+	// StateIncoming: paused, listening for live-migration data
+	// (launched with -incoming).
+	StateIncoming
+	// StateShutOff: terminated.
+	StateShutOff
+)
+
+// String names the state the way `info status` does.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateIncoming:
+		return "paused (inmigrate)"
+	case StateShutOff:
+		return "shut off"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BlockStats carries per-drive I/O counters, the `info blockstats` view.
+type BlockStats struct {
+	RdBytes uint64
+	WrBytes uint64
+	RdOps   uint64
+	WrOps   uint64
+}
+
+// MigrationInfo is the `info migrate` view, updated by the migration
+// engine while a migration involving this VM runs.
+type MigrationInfo struct {
+	Status        string // "", "active", "completed", "failed", "cancelled"
+	TransferredMB float64
+	RemainingMB   float64
+	TotalMB       float64
+	Downtime      time.Duration
+	TotalTime     time.Duration
+	Iterations    int
+}
+
+// Migrator starts a live migration of vm toward uri. The QEMU monitor's
+// `migrate` command delegates here; the implementation lives in the
+// migrate package and is injected to keep this package free of a cycle.
+type Migrator interface {
+	Migrate(vm *VM, uri string) error
+}
+
+// PortForwarder installs user-mode-networking host forwards at runtime —
+// the monitor's `hostfwd_add` command. The hypervisor layer injects an
+// implementation wired to the virtual network.
+type PortForwarder interface {
+	AddHostFwd(vm *VM, rule FwdRule) error
+	RemoveHostFwd(vm *VM, rule FwdRule) error
+}
+
+// VM is one QEMU process's guest.
+type VM struct {
+	eng      *sim.Engine
+	cfg      Config
+	state    State
+	ram      *mem.Space
+	vcpu     *cpu.VCPU
+	level    cpu.Level
+	endpoint string
+	pid      int
+
+	blocks    []BlockStats
+	migInfo   MigrationInfo
+	migrator  Migrator
+	portFwd   PortForwarder
+	monitor   *Monitor
+	snapshots map[string]*Snapshot
+	bootedAt  time.Duration
+	stoppedAt time.Duration
+}
+
+// NewVM builds a VM in StateCreated. The endpoint names this VM's NIC on
+// the virtual network; level is the virtualization level the guest's code
+// executes at (L1 for a VM on the bare-metal host, L2 nested).
+func NewVM(eng *sim.Engine, cfg Config, model cpu.Model, level cpu.Level, endpoint string) *VM {
+	vm := &VM{
+		eng:      eng,
+		cfg:      cfg.Clone(),
+		state:    StateCreated,
+		ram:      mem.NewSpace(cfg.Name+".ram", cfg.MemoryMB<<20),
+		vcpu:     cpu.NewVCPU(eng, model, level),
+		level:    level,
+		endpoint: endpoint,
+		blocks:   make([]BlockStats, len(cfg.Drives)),
+	}
+	return vm
+}
+
+// Name returns the VM's configured name.
+func (v *VM) Name() string { return v.cfg.Name }
+
+// Config returns a copy of the VM's configuration.
+func (v *VM) Config() Config { return v.cfg.Clone() }
+
+// State returns the lifecycle state.
+func (v *VM) State() State { return v.state }
+
+// RAM exposes the guest-physical memory.
+func (v *VM) RAM() *mem.Space { return v.ram }
+
+// VCPU returns the guest's virtual CPU.
+func (v *VM) VCPU() *cpu.VCPU { return v.vcpu }
+
+// Level returns the virtualization level guest code runs at.
+func (v *VM) Level() cpu.Level { return v.level }
+
+// Endpoint returns the VM's network endpoint name.
+func (v *VM) Endpoint() string { return v.endpoint }
+
+// Engine returns the simulation engine.
+func (v *VM) Engine() *sim.Engine { return v.eng }
+
+// PID returns the host process id backing this VM (0 until assigned).
+func (v *VM) PID() int { return v.pid }
+
+// SetPID records the host process id backing this VM.
+func (v *VM) SetPID(pid int) { v.pid = pid }
+
+// Boot transitions Created -> Running (or -> Incoming when the config has
+// -incoming), advancing virtual time by bootTime and populating guest RAM
+// with plausible contents: zeroFrac of pages free (zero), the rest unique.
+// An incoming VM skips RAM population — its memory arrives via migration.
+func (v *VM) Boot(bootTime time.Duration, rng *rand.Rand, zeroFrac float64) error {
+	if v.state != StateCreated {
+		return fmt.Errorf("%w: boot from %v", ErrBadState, v.state)
+	}
+	v.eng.Advance(bootTime)
+	v.bootedAt = v.eng.Now()
+	if v.cfg.Incoming != "" {
+		v.state = StateIncoming
+		return nil
+	}
+	v.ram.FillRandom(rng, zeroFrac)
+	v.state = StateRunning
+	return nil
+}
+
+// Pause stops guest execution (monitor `stop`).
+func (v *VM) Pause() error {
+	if v.state != StateRunning {
+		return fmt.Errorf("%w: stop from %v", ErrBadState, v.state)
+	}
+	v.state = StatePaused
+	v.stoppedAt = v.eng.Now()
+	return nil
+}
+
+// Resume restarts a paused or incoming-complete guest (monitor `cont`).
+func (v *VM) Resume() error {
+	if v.state != StatePaused && v.state != StateIncoming {
+		return fmt.Errorf("%w: cont from %v", ErrBadState, v.state)
+	}
+	v.state = StateRunning
+	return nil
+}
+
+// Reset returns a running or paused guest to the pre-boot state — the
+// guest OS rebooting (or the admin hitting system_reset). RAM is cleared:
+// a fresh boot repopulates it. The QEMU process itself survives, which is
+// exactly why a rootkit *around* the guest survives the guest's reboot.
+func (v *VM) Reset() error {
+	if v.state != StateRunning && v.state != StatePaused {
+		return fmt.Errorf("%w: reset from %v", ErrBadState, v.state)
+	}
+	v.ram.Reset()
+	v.state = StateCreated
+	return nil
+}
+
+// Shutdown terminates the guest. Terminating an already shut-off VM is an
+// error so tests catch double-kill bugs.
+func (v *VM) Shutdown() error {
+	if v.state == StateShutOff {
+		return fmt.Errorf("%w: quit from %v", ErrBadState, v.state)
+	}
+	v.state = StateShutOff
+	return nil
+}
+
+// Running reports whether the guest is executing.
+func (v *VM) Running() bool { return v.state == StateRunning }
+
+// RecordBlockIO accumulates device I/O counters for `info blockstats`.
+// Unknown drive indices are ignored (defensive: workloads probe drive 0).
+func (v *VM) RecordBlockIO(drive int, rdBytes, wrBytes, rdOps, wrOps uint64) {
+	if drive < 0 || drive >= len(v.blocks) {
+		return
+	}
+	b := &v.blocks[drive]
+	b.RdBytes += rdBytes
+	b.WrBytes += wrBytes
+	b.RdOps += rdOps
+	b.WrOps += wrOps
+}
+
+// BlockStatsFor returns drive i's counters.
+func (v *VM) BlockStatsFor(i int) (BlockStats, bool) {
+	if i < 0 || i >= len(v.blocks) {
+		return BlockStats{}, false
+	}
+	return v.blocks[i], true
+}
+
+// SetMigrator injects the live-migration engine used by the monitor's
+// `migrate` command.
+func (v *VM) SetMigrator(m Migrator) { v.migrator = m }
+
+// SetPortForwarder injects the runtime hostfwd implementation used by the
+// monitor's `hostfwd_add` / `hostfwd_remove` commands.
+func (v *VM) SetPortForwarder(pf PortForwarder) { v.portFwd = pf }
+
+// AddHostFwd installs a runtime host forward for this VM. It also records
+// the rule in the VM's config so recon and `info network` see it.
+func (v *VM) AddHostFwd(rule FwdRule) error {
+	if v.portFwd == nil {
+		return fmt.Errorf("%w: no port forwarder attached", ErrBadState)
+	}
+	if err := v.portFwd.AddHostFwd(v, rule); err != nil {
+		return err
+	}
+	if len(v.cfg.NetDevs) > 0 {
+		v.cfg.NetDevs[0].HostFwds = append(v.cfg.NetDevs[0].HostFwds, rule)
+	}
+	return nil
+}
+
+// RemoveHostFwd removes a runtime host forward for this VM.
+func (v *VM) RemoveHostFwd(rule FwdRule) error {
+	if v.portFwd == nil {
+		return fmt.Errorf("%w: no port forwarder attached", ErrBadState)
+	}
+	if err := v.portFwd.RemoveHostFwd(v, rule); err != nil {
+		return err
+	}
+	if len(v.cfg.NetDevs) > 0 {
+		fwds := v.cfg.NetDevs[0].HostFwds
+		for i, f := range fwds {
+			if f == rule {
+				v.cfg.NetDevs[0].HostFwds = append(fwds[:i], fwds[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// SetMigrationInfo updates the `info migrate` view.
+func (v *VM) SetMigrationInfo(info MigrationInfo) { v.migInfo = info }
+
+// MigrationStatus returns the current `info migrate` view.
+func (v *VM) MigrationStatus() MigrationInfo { return v.migInfo }
+
+// Monitor returns the VM's QEMU monitor, creating it on first use.
+func (v *VM) Monitor() *Monitor {
+	if v.monitor == nil {
+		v.monitor = newMonitor(v)
+	}
+	return v.monitor
+}
+
+// FinishIncoming transitions an incoming VM to paused-after-migration;
+// the migration engine calls it at stream end, and `cont` (or the engine's
+// auto-resume) then starts the guest.
+func (v *VM) FinishIncoming() error {
+	if v.state != StateIncoming {
+		return fmt.Errorf("%w: finish incoming from %v", ErrBadState, v.state)
+	}
+	v.state = StatePaused
+	// -incoming applied to this one launch; a later in-process reboot
+	// boots normally.
+	v.cfg.Incoming = ""
+	return nil
+}

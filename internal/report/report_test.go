@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "TABLE X",
+		Headers: []string{"Config", "value"},
+	}
+	tbl.AddRow("L0", "1.00")
+	tbl.AddRow("L1-long-label", "2.00")
+	out := tbl.Render()
+	if !strings.HasPrefix(out, "TABLE X\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All data lines align: same column start for second column.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Fatalf("short line %q", ln)
+		}
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("no separator: %q", lines[2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := Table{Headers: []string{"a"}}
+	tbl.AddRow("1", "2", "3")
+	out := tbl.Render()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestBarChartLinear(t *testing.T) {
+	c := BarChart{Title: "Fig", Unit: "s", Width: 20}
+	c.Add("L0", 10, "")
+	c.Add("L1", 20, "+100.0%")
+	out := c.Render()
+	if !strings.Contains(out, "Fig (s)") {
+		t.Fatalf("title:\n%s", out)
+	}
+	l0bars := strings.Count(strings.Split(out, "\n")[1], "#")
+	l1bars := strings.Count(strings.Split(out, "\n")[2], "#")
+	if l1bars != 20 || l0bars != 10 {
+		t.Fatalf("bars = %d/%d:\n%s", l0bars, l1bars, out)
+	}
+	if !strings.Contains(out, "[+100.0%]") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestBarChartLogCompressesRange(t *testing.T) {
+	c := BarChart{Log: true, Width: 40}
+	c.Add("small", 1, "")
+	c.Add("big", 1000, "")
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	small := strings.Count(lines[0], "#")
+	big := strings.Count(lines[1], "#")
+	if big != 40 {
+		t.Fatalf("max bar = %d", big)
+	}
+	// On a linear scale 1/1000 would render one char; log gives it a
+	// visible fraction.
+	if small < 3 {
+		t.Fatalf("log scale did not lift small bar: %d", small)
+	}
+}
+
+func TestBarChartZeroValue(t *testing.T) {
+	c := BarChart{Width: 10}
+	c.Add("zero", 0, "")
+	out := c.Render()
+	if strings.Count(out, "#") != 0 {
+		t.Fatalf("zero bar rendered:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(25.7); got != "+25.7%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(-8.9); got != "-8.9%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0",
+		999:     "999",
+		1000:    "1,000",
+		126418:  "126,418",
+		-280884: "-280,884",
+	}
+	for n, want := range cases {
+		if got := Comma(n); got != want {
+			t.Fatalf("Comma(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFloatFormats(t *testing.T) {
+	if F2(3.456) != "3.46" || F3(3.4567) != "3.457" {
+		t.Fatal("float formats")
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Everything in the CloudSkulk reproduction — vCPU execution, KSM daemon
+// scans, live-migration rounds, network transfers — runs on a single virtual
+// clock owned by an Engine. Virtual time only advances when events fire, so
+// experiments are fully deterministic for a given seed and are independent of
+// wall-clock performance of the machine running the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulator: a virtual clock plus a priority
+// queue of scheduled events. It is not safe for concurrent use; the entire
+// simulation runs single-threaded, which is what makes it deterministic.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	rng    *rand.Rand
+	seq    uint64
+	nsteps uint64
+	tracer *Tracer
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed. Two engines built with the same seed replay
+// identical event traces.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (e *Engine) Now() time.Duration {
+	return e.now
+}
+
+// Steps returns the number of events fired so far. Useful for loop guards
+// and for asserting deterministic replay in tests.
+func (e *Engine) Steps() uint64 {
+	return e.nsteps
+}
+
+// RNG returns the engine's seeded random source. All simulated randomness
+// must come from here so experiments replay exactly.
+func (e *Engine) RNG() *rand.Rand {
+	return e.rng
+}
+
+// Gauss draws from a normal distribution with the given mean and relative
+// standard deviation (e.g. relStddev 0.05 means sigma = 5% of mean). The
+// result is clamped to be non-negative, since all simulated quantities
+// (latencies, throughputs) are non-negative.
+func (e *Engine) Gauss(mean float64, relStddev float64) float64 {
+	v := mean + e.rng.NormFloat64()*relStddev*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// GaussDuration draws a non-negative duration around mean with the given
+// relative standard deviation.
+func (e *Engine) GaussDuration(mean time.Duration, relStddev float64) time.Duration {
+	return time.Duration(e.Gauss(float64(mean), relStddev))
+}
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	name      string
+	fn        func()
+	index     int // heap index; -1 once popped or cancelled
+	cancelled bool
+}
+
+// Name returns the label the event was scheduled with.
+func (ev *Event) Name() string { return ev.name }
+
+// At returns the virtual time the event is scheduled to fire.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Schedule enqueues fn to run after delay of virtual time. A negative delay
+// is treated as zero (fire as soon as the event loop resumes). Events
+// scheduled for the same instant fire in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, name string, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	ev := &Event{
+		at:   e.now + delay,
+		seq:  e.seq,
+		name: name,
+		fn:   fn,
+	}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt enqueues fn at an absolute virtual time. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, name string, fn func()) *Event {
+	return e.Schedule(at-e.now, name, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired (false means the queue was empty).
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.nsteps++
+		if e.tracer != nil {
+			e.tracer.Record(e.now, ev.name)
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+// Advance moves the clock forward by d without firing events scheduled in
+// between. It is the building block for "this operation took d" accounting
+// in analytic (non-event) code paths; callers that interleave with event
+// sources should prefer RunFor. Advance panics on negative d, which always
+// indicates a programming error in a cost model.
+func (e *Engine) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v", d))
+	}
+	e.now += d
+}
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("sim: push of non-event")
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var fired time.Duration
+	e.Schedule(5*time.Millisecond, "a", func() { fired = e.Now() })
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if fired != 5*time.Millisecond {
+		t.Fatalf("event fired at %v, want 5ms", fired)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(30*time.Millisecond, "c", func() { order = append(order, "c") })
+	e.Schedule(10*time.Millisecond, "a", func() { order = append(order, "a") })
+	e.Schedule(20*time.Millisecond, "b", func() { order = append(order, "b") })
+	e.Run()
+	if got := len(order); got != 3 {
+		t.Fatalf("fired %d events, want 3", got)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, "tie", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order = %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Advance(time.Second)
+	var at time.Duration
+	e.Schedule(-time.Hour, "past", func() { at = e.Now() })
+	e.Run()
+	if at != time.Second {
+		t.Fatalf("past event fired at %v, want clock time 1s", at)
+	}
+}
+
+func TestScheduleAtAbsolute(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.ScheduleAt(42*time.Millisecond, "abs", func() { at = e.Now() })
+	e.Run()
+	if at != 42*time.Millisecond {
+		t.Fatalf("fired at %v, want 42ms", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, "x", func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-run must not panic.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	a := e.Schedule(1*time.Millisecond, "a", func() { order = append(order, "a") })
+	e.Schedule(2*time.Millisecond, "b", func() { order = append(order, "b") })
+	c := e.Schedule(3*time.Millisecond, "c", func() { order = append(order, "c") })
+	e.Cancel(a)
+	e.Cancel(c)
+	e.Run()
+	if len(order) != 1 || order[0] != "b" {
+		t.Fatalf("order = %v, want [b]", order)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	e.Schedule(10*time.Millisecond, "early", func() { fired = append(fired, "early") })
+	e.Schedule(30*time.Millisecond, "late", func() { fired = append(fired, "late") })
+	e.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "early" {
+		t.Fatalf("fired = %v, want [early]", fired)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("after Run fired = %v, want both", fired)
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	e := NewEngine(1)
+	e.Advance(time.Second)
+	count := 0
+	e.Schedule(500*time.Millisecond, "in", func() { count++ })
+	e.Schedule(2*time.Second, "out", func() { count++ })
+	e.RunFor(time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := NewEngine(1)
+	var chain []time.Duration
+	var step func()
+	step = func() {
+		chain = append(chain, e.Now())
+		if len(chain) < 5 {
+			e.Schedule(time.Millisecond, "chain", step)
+		}
+	}
+	e.Schedule(time.Millisecond, "chain", step)
+	e.Run()
+	if len(chain) != 5 {
+		t.Fatalf("chain length = %d, want 5", len(chain))
+	}
+	for i, at := range chain {
+		want := time.Duration(i+1) * time.Millisecond
+		if at != want {
+			t.Fatalf("chain[%d] fired at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestAdvancePanicsOnNegative(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	e.Advance(-1)
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		var out []float64
+		tk := NewTicker(e, time.Millisecond, "tick", func() {
+			out = append(out, e.Gauss(100, 0.1))
+		})
+		e.RunFor(10 * time.Millisecond)
+		tk.Stop()
+		return out
+	}
+	a := run(42)
+	b := run(42)
+	c := run(43)
+	if len(a) != 10 {
+		t.Fatalf("run produced %d samples, want 10", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGaussNonNegative(t *testing.T) {
+	e := NewEngine(7)
+	f := func(mean uint16) bool {
+		// Large relative stddev forces negative draws that must clamp.
+		return e.Gauss(float64(mean), 5.0) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussDuration(t *testing.T) {
+	e := NewEngine(7)
+	for i := 0; i < 1000; i++ {
+		d := e.GaussDuration(time.Millisecond, 0.05)
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+		if d < 500*time.Microsecond || d > 1500*time.Microsecond {
+			t.Fatalf("draw %v implausibly far from mean at 5%% sigma", d)
+		}
+	}
+}
+
+// TestQueueOrderProperty checks the heap invariant via property testing:
+// any batch of delays fires in non-decreasing time order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, "p", func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerStops(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := NewTicker(e, time.Millisecond, "tick", func() { count++ })
+	e.RunFor(5 * time.Millisecond)
+	tk.Stop()
+	e.RunFor(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Millisecond, "tick", func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunFor(10 * time.Millisecond)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3 (self-stop)", count)
+	}
+}
+
+func TestTickerPanicsOnNonPositivePeriod(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewTicker(e, 0, "bad", func() {})
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, "n", func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Fatalf("Steps = %d, want 7", e.Steps())
+	}
+}

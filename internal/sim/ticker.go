@@ -1,0 +1,56 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It is the simulation analogue of a kernel daemon's wakeup loop (KSM's
+// ksmd, migration rate limiting, workload pulse generators).
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	name    string
+	fn      func()
+	next    *Event
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period of virtual time, starting one
+// period from now. The returned ticker must be stopped when no longer
+// needed, otherwise it keeps the event queue non-empty forever.
+func NewTicker(e *Engine, period time.Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{
+		engine: e,
+		period: period,
+		name:   name,
+		fn:     fn,
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.engine.Schedule(t.period, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.next)
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsEventFirings(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(0)
+	e.Observe(tr)
+	e.Schedule(time.Millisecond, "alpha", func() {})
+	e.Schedule(2*time.Millisecond, "beta", func() {})
+	e.Run()
+	got := tr.Entries()
+	if len(got) != 2 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if got[0].Name != "alpha" || got[0].At != time.Millisecond {
+		t.Fatalf("entry 0 = %+v", got[0])
+	}
+	if got[1].Name != "beta" {
+		t.Fatalf("entry 1 = %+v", got[1])
+	}
+	out := tr.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// Detach: further events unrecorded.
+	e.Observe(nil)
+	e.Schedule(time.Millisecond, "gamma", func() {})
+	e.Run()
+	if tr.Len() != 2 {
+		t.Fatal("recorded after detach")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(3)
+	e.Observe(tr)
+	for i := 0; i < 5; i++ {
+		name := string(rune('a' + i))
+		e.Schedule(time.Duration(i+1)*time.Millisecond, name, func() {})
+	}
+	e.Run()
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	got := tr.Entries()
+	if got[0].Name != "c" || got[2].Name != "e" {
+		t.Fatalf("ring order = %+v", got)
+	}
+}
+
+func TestTracerCancelledEventsNotRecorded(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(0)
+	e.Observe(tr)
+	ev := e.Schedule(time.Millisecond, "never", func() {})
+	e.Cancel(ev)
+	e.Run()
+	if tr.Len() != 0 {
+		t.Fatalf("entries = %v", tr.Entries())
+	}
+}

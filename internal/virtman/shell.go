@@ -1,0 +1,132 @@
+package virtman
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudskulk/internal/report"
+)
+
+// Execute runs one virsh-style command line against the manager and
+// returns its output. Supported commands:
+//
+//	list [--all]           active (or all) domains
+//	define <json>          define a domain from inline JSON
+//	undefine <name>        remove an inactive definition
+//	start <name>           create and boot
+//	destroy <name>         hard stop
+//	reboot <name>          guest reboot
+//	suspend <name>         pause
+//	resume <name>          unpause
+//	migrate <name> <uri>   live migrate
+//	dumpjson <name>        print the definition
+//	autostart-all          start all autostart domains
+func Execute(m *Manager, line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("virtman: %s expects %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "list":
+		all := len(args) == 1 && args[0] == "--all"
+		t := report.Table{Headers: []string{"Name", "State"}}
+		for _, d := range m.List() {
+			if !all && !d.Active() {
+				continue
+			}
+			t.AddRow(d.Def.Name, string(d.State()))
+		}
+		return t.Render(), nil
+	case "define":
+		// The JSON is everything after the verb.
+		raw := strings.TrimSpace(strings.TrimPrefix(line, "define"))
+		if raw == "" {
+			return "", fmt.Errorf("virtman: define expects a JSON definition")
+		}
+		d, err := m.DefineJSON([]byte(raw))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s defined\n", d.Def.Name), nil
+	case "undefine":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Undefine(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s has been undefined\n", args[0]), nil
+	case "start":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Start(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s started\n", args[0]), nil
+	case "destroy":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Destroy(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s destroyed\n", args[0]), nil
+	case "reboot":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Reboot(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s is being rebooted\n", args[0]), nil
+	case "suspend":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Suspend(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s suspended\n", args[0]), nil
+	case "resume":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if err := m.Resume(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Domain %s resumed\n", args[0]), nil
+	case "migrate":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		if err := m.Migrate(args[0], args[1]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Migration of %s completed\n", args[0]), nil
+	case "dumpjson":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		raw, err := m.DumpJSON(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(raw) + "\n", nil
+	case "autostart-all":
+		started, err := m.AutostartAll()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("Started: %s\n", strings.Join(started, ", ")), nil
+	default:
+		return "", fmt.Errorf("virtman: unknown command %q", cmd)
+	}
+}

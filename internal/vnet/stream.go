@@ -1,0 +1,273 @@
+package vnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Stream errors.
+var (
+	ErrConnClosed   = errors.New("vnet: connection closed")
+	ErrStreamBroken = errors.New("vnet: stream segment lost")
+)
+
+// MSS is the maximum segment size a stream write is chopped into; each
+// segment travels the fabric as one Packet, so taps (and the RITM) see —
+// and may tamper with — every segment.
+const MSS = 1460
+
+// segment framing: 1 type byte + 8 connID bytes + payload.
+const (
+	segSYN byte = 'S'
+	segACK byte = 'A'
+	segDAT byte = 'D'
+	segFIN byte = 'F'
+)
+
+// StreamConn is one end of a reliable, ordered byte stream. The API is
+// event-style to fit the single-threaded simulation: writes are
+// synchronous sends, reads drain a receive buffer (or arrive through the
+// OnData callback).
+type StreamConn struct {
+	net   *Network
+	id    uint64
+	local Addr
+	// dialTo is the address segments are sent to: the original dialed
+	// address on the client side (so forwarding chains re-apply per
+	// segment), the handshake's source on the server side.
+	dialTo  Addr
+	recvBuf []byte
+	closed  bool
+
+	// OnData, if set, is invoked for each arriving segment instead of
+	// buffering.
+	OnData func(data []byte)
+	// OnClose, if set, is invoked when the peer closes.
+	OnClose func()
+}
+
+// StreamListener accepts incoming stream connections on an address.
+type StreamListener struct {
+	net   *Network
+	addr  Addr
+	conns map[uint64]*StreamConn
+	// backlog of connections not yet Accept()ed.
+	backlog []*StreamConn
+	// OnAccept, if set, is invoked for each new connection instead of
+	// queueing it.
+	OnAccept func(c *StreamConn)
+}
+
+// ListenStream binds a stream listener to addr.
+func (n *Network) ListenStream(addr Addr) (*StreamListener, error) {
+	l := &StreamListener{
+		net:   n,
+		addr:  addr,
+		conns: make(map[uint64]*StreamConn),
+	}
+	if err := n.Listen(addr, l.handle); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close releases the listener's port. Existing connections survive.
+func (l *StreamListener) Close() {
+	l.net.Unlisten(l.addr)
+}
+
+// Accept pops a pending connection, if any.
+func (l *StreamListener) Accept() (*StreamConn, bool) {
+	if len(l.backlog) == 0 {
+		return nil, false
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, true
+}
+
+func (l *StreamListener) handle(pkt *Packet) {
+	typ, id, payload, err := decodeSegment(pkt.Payload)
+	if err != nil {
+		return // not stream traffic; ignore
+	}
+	switch typ {
+	case segSYN:
+		c := &StreamConn{
+			net:    l.net,
+			id:     id,
+			local:  l.addr,
+			dialTo: pkt.From,
+		}
+		l.conns[id] = c
+		// Acknowledge so the dialer learns the connection survived
+		// the path (and its taps).
+		_ = l.net.Send(&Packet{
+			From:    l.addr,
+			To:      pkt.From,
+			Payload: encodeSegment(segACK, id, nil),
+		})
+		if l.OnAccept != nil {
+			l.OnAccept(c)
+		} else {
+			l.backlog = append(l.backlog, c)
+		}
+	case segDAT:
+		if c, ok := l.conns[id]; ok && !c.closed {
+			c.deliver(payload)
+		}
+	case segFIN:
+		if c, ok := l.conns[id]; ok && !c.closed {
+			c.closed = true
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+		}
+	}
+}
+
+// DialStream opens a stream from a local address (which must be free to
+// bind for return traffic) to a destination, through any forwarding chain
+// and its taps. The connection is usable immediately; the ACK event
+// confirms path liveness asynchronously.
+func (n *Network) DialStream(local, to Addr) (*StreamConn, error) {
+	n.seqConn++
+	c := &StreamConn{
+		net:    n,
+		id:     n.seqConn,
+		local:  local,
+		dialTo: to,
+	}
+	if err := n.Listen(local, c.clientHandle); err != nil {
+		return nil, err
+	}
+	syn := &Packet{From: local, To: to, Payload: encodeSegment(segSYN, c.id, nil)}
+	if err := n.Send(syn); err != nil {
+		n.Unlisten(local)
+		return nil, fmt.Errorf("%w: %v", ErrStreamBroken, err)
+	}
+	return c, nil
+}
+
+func (c *StreamConn) clientHandle(pkt *Packet) {
+	typ, id, payload, err := decodeSegment(pkt.Payload)
+	if err != nil || id != c.id {
+		return
+	}
+	switch typ {
+	case segACK:
+		// Path confirmed; nothing to store in this simplified model.
+	case segDAT:
+		if !c.closed {
+			c.deliver(payload)
+		}
+	case segFIN:
+		if !c.closed {
+			c.closed = true
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+		}
+	}
+}
+
+func (c *StreamConn) deliver(data []byte) {
+	if c.OnData != nil {
+		c.OnData(data)
+		return
+	}
+	c.recvBuf = append(c.recvBuf, data...)
+}
+
+// Write sends data as MSS-sized segments. A segment dropped by a tap (or
+// a dead path) surfaces as ErrStreamBroken — the connection-reset a
+// tampering RITM inflicts.
+func (c *StreamConn) Write(data []byte) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	for len(data) > 0 {
+		n := len(data)
+		if n > MSS {
+			n = MSS
+		}
+		seg := &Packet{
+			From:    c.local,
+			To:      c.dialTo,
+			Payload: encodeSegment(segDAT, c.id, data[:n]),
+		}
+		if err := c.net.Send(seg); err != nil {
+			return fmt.Errorf("%w: %v", ErrStreamBroken, err)
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// Recv drains and returns everything received so far (nil when empty).
+func (c *StreamConn) Recv() []byte {
+	out := c.recvBuf
+	c.recvBuf = nil
+	return out
+}
+
+// Closed reports whether the connection has been closed by either side.
+func (c *StreamConn) Closed() bool { return c.closed }
+
+// Close sends FIN to the peer and releases the client-side port binding.
+func (c *StreamConn) Close() error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.closed = true
+	fin := &Packet{From: c.local, To: c.dialTo, Payload: encodeSegment(segFIN, c.id, nil)}
+	err := c.net.Send(fin)
+	c.net.Unlisten(c.local)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStreamBroken, err)
+	}
+	return nil
+}
+
+// StreamPayload extracts the application bytes from a packet that carries
+// a stream DATA segment. It returns ok=false for non-stream or
+// non-data packets — the helper taps and sniffers use to read streams
+// without caring about framing.
+func StreamPayload(p *Packet) ([]byte, bool) {
+	typ, _, payload, err := decodeSegment(p.Payload)
+	if err != nil || typ != segDAT {
+		return nil, false
+	}
+	return payload, true
+}
+
+// ClassifySegment reports whether a packet carries stream framing and, if
+// so, whether it is a data segment.
+func ClassifySegment(p *Packet) (data []byte, isStream, isData bool) {
+	typ, _, payload, err := decodeSegment(p.Payload)
+	if err != nil {
+		return nil, false, false
+	}
+	return payload, true, typ == segDAT
+}
+
+func encodeSegment(typ byte, id uint64, payload []byte) []byte {
+	out := make([]byte, 9+len(payload))
+	out[0] = typ
+	binary.BigEndian.PutUint64(out[1:9], id)
+	copy(out[9:], payload)
+	return out
+}
+
+func decodeSegment(raw []byte) (typ byte, id uint64, payload []byte, err error) {
+	if len(raw) < 9 {
+		return 0, 0, nil, errors.New("vnet: short segment")
+	}
+	switch raw[0] {
+	case segSYN, segACK, segDAT, segFIN:
+	default:
+		return 0, 0, nil, errors.New("vnet: not a stream segment")
+	}
+	return raw[0], binary.BigEndian.Uint64(raw[1:9]), raw[9:], nil
+}

@@ -1,0 +1,230 @@
+package vnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStreamEndToEnd(t *testing.T) {
+	eng, n := newNet(t, "client", "server")
+	l, err := n.ListenStream(Addr{"server", 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.DialStream(Addr{"client", 40000}, Addr{"server", 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // SYN + ACK fly
+	srv, ok := l.Accept()
+	if !ok {
+		t.Fatal("no accepted connection")
+	}
+	if _, ok := l.Accept(); ok {
+		t.Fatal("phantom second connection")
+	}
+
+	// Client -> server.
+	if err := conn.Write([]byte("hello server")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := srv.Recv(); string(got) != "hello server" {
+		t.Fatalf("server got %q", got)
+	}
+	if srv.Recv() != nil {
+		t.Fatal("Recv did not drain")
+	}
+	// Server -> client.
+	if err := srv.Write([]byte("hello client")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := conn.Recv(); string(got) != "hello client" {
+		t.Fatalf("client got %q", got)
+	}
+
+	// Close propagates.
+	var closed bool
+	srv.OnClose = func() { closed = true }
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !closed || !srv.Closed() {
+		t.Fatal("FIN not delivered")
+	}
+	if err := conn.Write([]byte("x")); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+	if err := conn.Close(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+}
+
+func TestStreamSegmentation(t *testing.T) {
+	eng, n := newNet(t, "a", "b")
+	l, err := n.ListenStream(Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.DialStream(Addr{"a", 1}, Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	srv, _ := l.Accept()
+
+	big := bytes.Repeat([]byte("x"), 4*MSS+100)
+	if err := conn.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got := srv.Recv()
+	if !bytes.Equal(got, big) {
+		t.Fatalf("reassembly failed: %d bytes vs %d", len(got), len(big))
+	}
+	// 5 data segments crossed the wire (plus SYN earlier).
+	st, _ := n.EndpointStats("a")
+	if st.SentPackets != 6 {
+		t.Fatalf("sent packets = %d, want 6", st.SentPackets)
+	}
+}
+
+func TestStreamThroughForwardChainAndTaps(t *testing.T) {
+	eng, n := newNet(t, "client", "host", "ritm", "victim")
+	if err := n.AddForward(Addr{"host", 2222}, Addr{"ritm", 2222}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddForward(Addr{"ritm", 2222}, Addr{"victim", 22}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.ListenStream(Addr{"victim", 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RITM tampers with stream payloads in flight.
+	if err := n.AddTap("ritm", TapFunc(func(p *Packet) Verdict {
+		p.Payload = bytes.ReplaceAll(p.Payload, []byte("secret"), []byte("REDACT"))
+		return VerdictPass
+	})); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.DialStream(Addr{"client", 40000}, Addr{"host", 2222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	srv, ok := l.Accept()
+	if !ok {
+		t.Fatal("connection did not traverse the chain")
+	}
+	if err := conn.Write([]byte("the secret handshake")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := srv.Recv(); string(got) != "the REDACT handshake" {
+		t.Fatalf("server got %q", got)
+	}
+	// Replies flow back to the dialing client directly.
+	if err := srv.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := conn.Recv(); string(got) != "ok" {
+		t.Fatalf("client got %q", got)
+	}
+}
+
+func TestStreamDroppedSegmentSurfacesError(t *testing.T) {
+	eng, n := newNet(t, "a", "b")
+	l, err := n.ListenStream(Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.DialStream(Addr{"a", 1}, Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, ok := l.Accept(); !ok {
+		t.Fatal("no connection")
+	}
+	if err := n.AddTap("b", TapFunc(func(*Packet) Verdict { return VerdictDrop })); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Write([]byte("x")); !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamOnDataCallback(t *testing.T) {
+	eng, n := newNet(t, "a", "b")
+	l, err := n.ListenStream(Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed []byte
+	l.OnAccept = func(c *StreamConn) {
+		c.OnData = func(data []byte) { pushed = append(pushed, data...) }
+	}
+	conn, err := n.DialStream(Addr{"a", 1}, Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Write([]byte("pushed")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if string(pushed) != "pushed" {
+		t.Fatalf("pushed = %q", pushed)
+	}
+}
+
+func TestStreamDialErrors(t *testing.T) {
+	_, n := newNet(t, "a", "b")
+	// No listener at the destination.
+	if _, err := n.DialStream(Addr{"a", 1}, Addr{"b", 9}); !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed dial released the local port.
+	if n.Listening(Addr{"a", 1}) {
+		t.Fatal("failed dial leaked port binding")
+	}
+	// Local port in use.
+	if err := n.Listen(Addr{"a", 1}, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.DialStream(Addr{"a", 1}, Addr{"b", 9}); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	_, n := newNet(t, "a", "b")
+	l, err := n.ListenStream(Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if n.Listening(Addr{"b", 9}) {
+		t.Fatal("listener port still bound")
+	}
+}
+
+func TestNonStreamTrafficIgnoredByListener(t *testing.T) {
+	eng, n := newNet(t, "a", "b")
+	l, err := n.ListenStream(Addr{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A raw packet that is not stream-framed must not crash or enqueue.
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 9}, Payload: []byte("raw")}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, ok := l.Accept(); ok {
+		t.Fatal("raw packet became a connection")
+	}
+}

@@ -1,0 +1,390 @@
+// Package vnet models the network the attack and its evaluation run over:
+// named endpoints (hosts and VM NICs), port listeners, QEMU-style host
+// port-forwarding chains, per-endpoint packet taps (the rootkit-in-the-
+// middle's interception point), and bandwidth/latency-modelled bulk
+// transfers (live migration traffic, netperf streams).
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudskulk/internal/sim"
+)
+
+// Errors callers match on.
+var (
+	ErrDuplicateEndpoint = errors.New("vnet: endpoint already exists")
+	ErrUnknownEndpoint   = errors.New("vnet: unknown endpoint")
+	ErrPortInUse         = errors.New("vnet: port already bound")
+	ErrNoListener        = errors.New("vnet: no listener")
+	ErrForwardLoop       = errors.New("vnet: forwarding loop")
+	ErrDropped           = errors.New("vnet: packet dropped by tap")
+	ErrLinkDown          = errors.New("vnet: link down")
+)
+
+// Addr is an (endpoint, port) pair.
+type Addr struct {
+	Endpoint string
+	Port     int
+}
+
+// String renders the address as endpoint:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Endpoint, a.Port) }
+
+// Packet is one unit of application traffic. Payload is application-defined
+// bytes; taps may inspect and rewrite it.
+type Packet struct {
+	From    Addr
+	To      Addr
+	Payload []byte
+	// Route records each endpoint the packet traversed, including
+	// forwarding hops — useful for asserting the RITM actually sits on
+	// the path.
+	Route []string
+}
+
+// Clone deep-copies the packet (taps that store packets must clone).
+func (p *Packet) Clone() *Packet {
+	c := *p
+	c.Payload = append([]byte(nil), p.Payload...)
+	c.Route = append([]string(nil), p.Route...)
+	return &c
+}
+
+// Verdict is a tap's decision about a packet.
+type Verdict int
+
+// Tap verdicts.
+const (
+	// VerdictPass lets the packet continue (possibly after the tap
+	// mutated its payload).
+	VerdictPass Verdict = iota + 1
+	// VerdictDrop discards the packet.
+	VerdictDrop
+)
+
+// Tap observes (and may rewrite or drop) every packet traversing an
+// endpoint. The CloudSkulk passive services are pass-only taps; active
+// services drop or modify.
+type Tap interface {
+	// Handle inspects pkt. It may mutate pkt.Payload in place before
+	// returning VerdictPass, or return VerdictDrop to discard.
+	Handle(pkt *Packet) Verdict
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(pkt *Packet) Verdict
+
+// Handle implements Tap.
+func (f TapFunc) Handle(pkt *Packet) Verdict { return f(pkt) }
+
+var _ Tap = TapFunc(nil)
+
+// LinkSpec describes the modelled capacity between two endpoints.
+type LinkSpec struct {
+	// Bandwidth in bytes per second.
+	Bandwidth int64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Down simulates a failed link: transfers and sends error.
+	Down bool
+}
+
+// Handler receives delivered packets on a bound port.
+type Handler func(pkt *Packet)
+
+type endpoint struct {
+	name      string
+	listeners map[int]Handler
+	taps      []Tap
+
+	// counters
+	sentPkts, recvPkts, fwdPkts, dropPkts uint64
+	sentBytes, recvBytes                  uint64
+}
+
+type linkKey struct{ a, b string }
+
+// Stats is a snapshot of an endpoint's traffic counters.
+type Stats struct {
+	SentPackets      uint64
+	ReceivedPackets  uint64
+	ForwardedPackets uint64
+	DroppedPackets   uint64
+	SentBytes        uint64
+	ReceivedBytes    uint64
+}
+
+// Network is the top-level fabric.
+type Network struct {
+	eng       *sim.Engine
+	endpoints map[string]*endpoint
+	forwards  map[Addr]Addr
+	links     map[linkKey]LinkSpec
+
+	// DefaultLink is used for endpoint pairs without an explicit link.
+	// The default models a host-internal (loopback/bridge) path, which is
+	// all the CloudSkulk attack needs — it runs on one physical machine.
+	DefaultLink LinkSpec
+
+	// maxForwardHops bounds forwarding-chain resolution.
+	maxForwardHops int
+	// seqConn numbers stream connections.
+	seqConn uint64
+}
+
+// New returns an empty network on the given engine. The default link models
+// an intra-host path: high bandwidth, microsecond latency.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:       eng,
+		endpoints: make(map[string]*endpoint),
+		forwards:  make(map[Addr]Addr),
+		links:     make(map[linkKey]LinkSpec),
+		DefaultLink: LinkSpec{
+			Bandwidth: 2 << 30, // 2 GiB/s intra-host
+			Latency:   50 * time.Microsecond,
+		},
+		maxForwardHops: 16,
+	}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddEndpoint registers a new named endpoint.
+func (n *Network) AddEndpoint(name string) error {
+	if _, ok := n.endpoints[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateEndpoint, name)
+	}
+	n.endpoints[name] = &endpoint{
+		name:      name,
+		listeners: make(map[int]Handler),
+	}
+	return nil
+}
+
+// RemoveEndpoint deletes an endpoint, its listeners, taps, and any forward
+// rules that source from it. Forward rules *targeting* it are left in place
+// and will fail at send time, exactly like a dangling hostfwd.
+func (n *Network) RemoveEndpoint(name string) {
+	delete(n.endpoints, name)
+	for from := range n.forwards {
+		if from.Endpoint == name {
+			delete(n.forwards, from)
+		}
+	}
+}
+
+// HasEndpoint reports whether name is registered.
+func (n *Network) HasEndpoint(name string) bool {
+	_, ok := n.endpoints[name]
+	return ok
+}
+
+// Listen binds handler to addr. It fails if the endpoint does not exist or
+// the port is taken.
+func (n *Network) Listen(addr Addr, h Handler) error {
+	ep, ok := n.endpoints[addr.Endpoint]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, addr.Endpoint)
+	}
+	if _, taken := ep.listeners[addr.Port]; taken {
+		return fmt.Errorf("%w: %s", ErrPortInUse, addr)
+	}
+	ep.listeners[addr.Port] = h
+	return nil
+}
+
+// Unlisten releases a port binding. Unknown bindings are a no-op.
+func (n *Network) Unlisten(addr Addr) {
+	if ep, ok := n.endpoints[addr.Endpoint]; ok {
+		delete(ep.listeners, addr.Port)
+	}
+}
+
+// Listening reports whether addr has a bound handler.
+func (n *Network) Listening(addr Addr) bool {
+	ep, ok := n.endpoints[addr.Endpoint]
+	if !ok {
+		return false
+	}
+	_, bound := ep.listeners[addr.Port]
+	return bound
+}
+
+// AddForward installs a QEMU-hostfwd-style rule: traffic delivered to
+// `from` is redirected to `to`. Rules may chain (host -> rootkit VM ->
+// nested VM), which is precisely how CloudSkulk keeps the victim reachable.
+func (n *Network) AddForward(from, to Addr) error {
+	if _, ok := n.endpoints[from.Endpoint]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, from.Endpoint)
+	}
+	n.forwards[from] = to
+	return nil
+}
+
+// RemoveForward deletes a forwarding rule.
+func (n *Network) RemoveForward(from Addr) {
+	delete(n.forwards, from)
+}
+
+// ResolveForward follows the forwarding chain from addr and returns the
+// final destination plus the intermediate endpoints traversed. It errors on
+// loops.
+func (n *Network) ResolveForward(addr Addr) (Addr, []string, error) {
+	var hops []string
+	cur := addr
+	for i := 0; i < n.maxForwardHops; i++ {
+		next, ok := n.forwards[cur]
+		if !ok {
+			return cur, hops, nil
+		}
+		hops = append(hops, cur.Endpoint)
+		cur = next
+	}
+	return cur, hops, fmt.Errorf("%w: starting at %s", ErrForwardLoop, addr)
+}
+
+// SetLink installs a symmetric link spec between endpoints a and b.
+func (n *Network) SetLink(a, b string, spec LinkSpec) {
+	n.links[n.key(a, b)] = spec
+}
+
+// Link returns the link spec between a and b (the default if unset).
+func (n *Network) Link(a, b string) LinkSpec {
+	if spec, ok := n.links[n.key(a, b)]; ok {
+		return spec
+	}
+	return n.DefaultLink
+}
+
+func (n *Network) key(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// TransferDuration returns how long moving `bytes` from a to b takes at the
+// link's modelled bandwidth, plus one propagation latency. It does not
+// advance the clock; bulk users (migration) interleave the transfer with
+// other event sources via Engine.RunFor.
+func (n *Network) TransferDuration(a, b string, bytes int64) (time.Duration, error) {
+	spec := n.Link(a, b)
+	if spec.Down {
+		return 0, fmt.Errorf("%w: %s<->%s", ErrLinkDown, a, b)
+	}
+	if spec.Bandwidth <= 0 {
+		return 0, fmt.Errorf("vnet: link %s<->%s has no bandwidth", a, b)
+	}
+	sec := float64(bytes) / float64(spec.Bandwidth)
+	return time.Duration(sec*float64(time.Second)) + spec.Latency, nil
+}
+
+// Send resolves forwarding from pkt.To, runs every traversed endpoint's
+// taps (in hop order, destination last), and delivers the packet to the
+// final listener after the link latency. The returned error reports
+// drops and missing listeners synchronously; delivery itself happens as a
+// scheduled event so ordering follows virtual time.
+func (n *Network) Send(pkt *Packet) error {
+	src, ok := n.endpoints[pkt.From.Endpoint]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, pkt.From.Endpoint)
+	}
+	dst, hops, err := n.ResolveForward(pkt.To)
+	if err != nil {
+		return err
+	}
+	dstEP, ok := n.endpoints[dst.Endpoint]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, dst.Endpoint)
+	}
+	handler, ok := dstEP.listeners[dst.Port]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoListener, dst)
+	}
+
+	src.sentPkts++
+	src.sentBytes += uint64(len(pkt.Payload))
+	pkt.Route = append(pkt.Route, pkt.From.Endpoint)
+	// Forwarding is destination NAT: taps along the path (and the final
+	// listener) see the resolved destination.
+	pkt.To = dst
+
+	// Taps run on each forwarding hop, then on the destination. This is
+	// where a rootkit VM interposed on the path sees the traffic.
+	for _, hop := range hops {
+		ep, ok := n.endpoints[hop]
+		if !ok {
+			continue
+		}
+		ep.fwdPkts++
+		pkt.Route = append(pkt.Route, hop)
+		if v := runTaps(ep, pkt); v == VerdictDrop {
+			ep.dropPkts++
+			return fmt.Errorf("%w: at %s", ErrDropped, hop)
+		}
+	}
+	pkt.Route = append(pkt.Route, dst.Endpoint)
+	if v := runTaps(dstEP, pkt); v == VerdictDrop {
+		dstEP.dropPkts++
+		return fmt.Errorf("%w: at %s", ErrDropped, dst.Endpoint)
+	}
+
+	spec := n.Link(pkt.From.Endpoint, dst.Endpoint)
+	if spec.Down {
+		return fmt.Errorf("%w: %s<->%s", ErrLinkDown, pkt.From.Endpoint, dst.Endpoint)
+	}
+	n.eng.Schedule(spec.Latency, "vnet.deliver", func() {
+		dstEP.recvPkts++
+		dstEP.recvBytes += uint64(len(pkt.Payload))
+		handler(pkt)
+	})
+	return nil
+}
+
+func runTaps(ep *endpoint, pkt *Packet) Verdict {
+	for _, t := range ep.taps {
+		if t.Handle(pkt) == VerdictDrop {
+			return VerdictDrop
+		}
+	}
+	return VerdictPass
+}
+
+// AddTap attaches a tap to an endpoint; it sees all packets forwarded
+// through or delivered to that endpoint.
+func (n *Network) AddTap(name string, t Tap) error {
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	ep.taps = append(ep.taps, t)
+	return nil
+}
+
+// ClearTaps removes all taps from an endpoint.
+func (n *Network) ClearTaps(name string) {
+	if ep, ok := n.endpoints[name]; ok {
+		ep.taps = nil
+	}
+}
+
+// EndpointStats returns a snapshot of an endpoint's counters.
+func (n *Network) EndpointStats(name string) (Stats, error) {
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	return Stats{
+		SentPackets:      ep.sentPkts,
+		ReceivedPackets:  ep.recvPkts,
+		ForwardedPackets: ep.fwdPkts,
+		DroppedPackets:   ep.dropPkts,
+		SentBytes:        ep.sentBytes,
+		ReceivedBytes:    ep.recvBytes,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
+)
+
+// Filebench models a fileserver-style I/O personality: a loop of create,
+// write, read, and delete operations against the guest's filesystem. The
+// paper uses it as the I/O-intensive live-migration workload in Fig. 4;
+// this type provides the measured-run form (the background dirtying form
+// is FilebenchProfile).
+type Filebench struct {
+	// Ops is the number of whole-file operations to perform.
+	Ops int
+	// FileKB is the file size each operation handles.
+	FileKB int
+}
+
+// DefaultFilebench mirrors the fileserver personality at small scale.
+func DefaultFilebench() Filebench {
+	return Filebench{Ops: 5000, FileKB: 16}
+}
+
+// Per-file-op costs: page-cache create/write/read/delete plus a periodic
+// writeback that does hit the virtual disk (one exit per flush when
+// virtualized).
+var (
+	_opFileCreate = cpu.SyscallOp("fb create+write", cpu.Micros(55), 0, 1)
+	_opFileRead   = cpu.SyscallOp("fb read", cpu.Micros(18), 0, 0)
+	_opFileDelete = cpu.SyscallOp("fb delete", cpu.Micros(9), 0, 0)
+	_opWriteback  = cpu.IOOp("fb writeback", cpu.Micros(210), 2)
+)
+
+// Run executes the benchmark and returns achieved operations per second
+// (an "operation" is one create+write+read+delete cycle).
+func (f Filebench) Run(ctx *Context) (float64, error) {
+	if ctx.RAM == nil {
+		return 0, ErrNoRAM
+	}
+	ops := f.Ops
+	if ops <= 0 {
+		ops = 5000
+	}
+	fileKB := f.FileKB
+	if fileKB <= 0 {
+		fileKB = 16
+	}
+	pagesPerFile := (fileKB*1024 + mem.PageSize - 1) / mem.PageSize
+	region := ctx.RAM.NumPages() / 10
+	if region < 1 {
+		region = 1
+	}
+	start := ctx.Eng.Now()
+	cursor := 0
+	for i := 0; i < ops; i++ {
+		ctx.VCPU.Exec(_opFileCreate, 1)
+		ctx.VCPU.Exec(_opFileRead, 1)
+		ctx.VCPU.Exec(_opFileDelete, 1)
+		if i%32 == 31 {
+			ctx.VCPU.Exec(_opWriteback, 1)
+		}
+		// Page-cache writes dirty guest memory in the file region.
+		for p := 0; p < pagesPerFile; p++ {
+			page := cursor % region
+			cursor++
+			if _, err := ctx.RAM.Write(page, mem.Content(ctx.Rng.Uint64()|1)); err != nil {
+				return 0, err
+			}
+		}
+		if ctx.VM != nil {
+			ctx.VM.RecordBlockIO(0, uint64(fileKB)<<10, uint64(fileKB)<<10, 1, 1)
+		}
+	}
+	elapsed := ctx.Eng.Now() - start
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(ops) / elapsed.Seconds(), nil
+}

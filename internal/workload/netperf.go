@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"cloudskulk/internal/cpu"
+)
+
+// Netperf models the TCP_STREAM bulk-transfer test the paper runs for
+// Fig. 3: unidirectional TCP throughput between the guest and the host.
+//
+// The modelled bottleneck is bulk data movement (copy + checksum), which
+// is ALU-class work: with virtio + vhost the per-segment exit cost is
+// amortized over large (GSO) segments, so virtualization level barely
+// moves the mean — exactly the paper's finding that all three levels
+// "perform nearly the same", with run-to-run variance (their reported
+// relative standard deviations: L0 1.11%, L1 10.32%, L2 3.96%) larger
+// than the level effect.
+type Netperf struct {
+	// SegmentBytes is the GSO segment size the stream moves per
+	// operation.
+	SegmentBytes int64
+	// Seconds is the nominal measurement length (netperf default 10s).
+	Seconds float64
+}
+
+// DefaultNetperf mirrors `netperf -t TCP_STREAM`.
+func DefaultNetperf() Netperf {
+	return Netperf{
+		SegmentBytes: 256 << 10,
+		Seconds:      10,
+	}
+}
+
+// _opSegment is the per-256KiB-segment cost: copy, checksum, TCP/IP stack.
+var _opSegment = cpu.ALUOp("tcp segment copy+csum", cpu.Micros(132))
+
+// RelStddevs returns the per-level measurement noise the paper reports for
+// netperf (as fractions of the mean).
+func RelStddevs() map[cpu.Level]float64 {
+	return map[cpu.Level]float64{
+		cpu.L0: 0.0111,
+		cpu.L1: 0.1032,
+		cpu.L2: 0.0396,
+	}
+}
+
+// Run measures one netperf pass in ctx and returns throughput in Mbit/s.
+// linkBandwidth is the path capacity in bytes/second; the result is the
+// smaller of the link and the CPU's segment-processing capacity, with
+// per-level measurement noise applied.
+func (n Netperf) Run(ctx *Context, linkBandwidth int64) float64 {
+	seg := n.SegmentBytes
+	if seg <= 0 {
+		seg = 256 << 10
+	}
+	perSeg := ctx.VCPU.CostOf(_opSegment)
+	capacity := float64(seg) / perSeg.Microseconds() * 1e6 // bytes/sec
+	mean := capacity
+	if linkBandwidth > 0 && float64(linkBandwidth) < mean {
+		mean = float64(linkBandwidth)
+	}
+	noise := RelStddevs()[ctx.Level()]
+	measured := ctx.Eng.Gauss(mean, noise)
+
+	// Charge the measurement's virtual time: the stream runs for the
+	// nominal duration regardless of achieved rate.
+	segments := int(measured * n.Seconds / float64(seg))
+	ctx.VCPU.Exec(_opSegment, segments)
+
+	return measured * 8 / 1e6 // bytes/s -> Mbit/s
+}
