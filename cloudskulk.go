@@ -15,7 +15,7 @@
 //
 // Quick start:
 //
-//	cloud, err := cloudskulk.NewCloud(1, 1024)      // seeded testbed, 1 GiB victim
+//	cloud, err := cloudskulk.New(1)                 // seeded testbed, 1 GiB victim
 //	rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
 //	cloud.Host.KSM().Start()
 //	det := cloudskulk.NewDedupDetector(cloud.Host)
@@ -147,12 +147,43 @@ const (
 	PostCopy = migrate.PostCopy
 )
 
-// NewCloud builds a seeded testbed: one host with a running victim VM
+// Testbed options for New.
+type (
+	// CloudOption configures the testbed New builds.
+	CloudOption = experiments.CloudOption
+)
+
+// Testbed option constructors.
+var (
+	// WithGuestMemMB sets the victim VM's memory size in MiB (default
+	// 1024, the paper's 1 GiB guest).
+	WithGuestMemMB = experiments.WithGuestMemMB
+	// WithMonitorPort moves the victim's QEMU monitor off the default
+	// 5555.
+	WithMonitorPort = experiments.WithMonitorPort
+	// WithKSMStarted starts the host's KSM daemon during construction
+	// instead of leaving it stopped.
+	WithKSMStarted = experiments.WithKSMStarted
+	// WithWorkloadProfile attaches a background guest-activity generator
+	// to the victim (exposed as Cloud.Background).
+	WithWorkloadProfile = experiments.WithWorkloadProfile
+)
+
+// New builds a seeded testbed: one host with a running victim VM
 // ("guest0", SSH forwarded on host port 2222, QEMU monitor on 5555), a
-// live-migration engine, and a KSM daemon (created stopped; start it with
-// cloud.Host.KSM().Start()).
+// live-migration engine, and a KSM daemon (created stopped unless
+// WithKSMStarted). The zero-option call reproduces the paper's testbed
+// with a 1 GiB victim.
+func New(seed int64, opts ...CloudOption) (*Cloud, error) {
+	return experiments.NewCloud(seed, opts...)
+}
+
+// NewCloud builds a seeded testbed with an explicit guest memory size.
+//
+// Deprecated: use New with WithGuestMemMB instead; NewCloud remains for
+// callers of the original two-argument constructor.
 func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
-	return experiments.NewCloud(seed, guestMemMB)
+	return New(seed, WithGuestMemMB(guestMemMB))
 }
 
 // DefaultInstallConfig returns the paper's attack parameters.

@@ -34,7 +34,7 @@ func run(args []string) error {
 		return err
 	}
 
-	cloud, err := cloudskulk.NewCloud(*seed, *memMB)
+	cloud, err := cloudskulk.New(*seed, cloudskulk.WithGuestMemMB(*memMB))
 	if err != nil {
 		return err
 	}

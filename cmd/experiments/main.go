@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-scale full|quick] [-seed N] [-only artefact]
+//	experiments [-scale full|quick] [-seed N] [-only artefact] [-workers N]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
 // baselines, ablations. Default runs all of them.
+//
+// Sweeps shard their cells across -workers goroutines (default GOMAXPROCS);
+// the rendered artefacts are byte-identical for any worker count. Live
+// progress (cells done/total, cells/sec, ETA) goes to stderr so stdout
+// stays clean for the artefacts themselves.
 package main
 
 import (
@@ -26,11 +31,24 @@ func main() {
 	}
 }
 
+// progressPrinter returns a sweep-progress callback that redraws one
+// stderr status line for the named artefact. Progress goes to stderr so
+// stdout carries only the artefacts and stays byte-identical across
+// worker counts.
+func progressPrinter(name string) func(cloudskulk.SweepProgress) {
+	return func(p cloudskulk.SweepProgress) {
+		fmt.Fprintf(os.Stderr, "\r\033[K%s: %d/%d cells, %.1f cells/s, ETA %s",
+			name, p.Done, p.Total, p.CellsPerSec, p.ETA.Round(time.Second))
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := fs.String("scale", "full", "experiment scale: full (paper) or quick")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	only := fs.String("only", "", "run a single artefact (table1, fig2, ..., ablations)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (default GOMAXPROCS)")
+	progress := fs.Bool("progress", true, "print live sweep progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +63,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	o.Seed = *seed
+	o.Workers = *workers
 
 	artefacts := []struct {
 		name string
@@ -180,7 +199,15 @@ func run(args []string) error {
 		if *only != "" && a.name != *only {
 			continue
 		}
+		if *progress {
+			// The artefact closures read o, so installing a fresh
+			// callback here labels each artefact's sweep output.
+			o.OnProgress = progressPrinter(a.name)
+		}
 		out, err := a.run()
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.name, err)
 		}

@@ -20,7 +20,7 @@ func main() {
 }
 
 func run() error {
-	cloud, err := cloudskulk.NewCloud(11, 512)
+	cloud, err := cloudskulk.New(11, cloudskulk.WithGuestMemMB(512))
 	if err != nil {
 		return err
 	}

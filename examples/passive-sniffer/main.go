@@ -22,7 +22,7 @@ func main() {
 }
 
 func run() error {
-	cloud, err := cloudskulk.NewCloud(7, 512)
+	cloud, err := cloudskulk.New(7, cloudskulk.WithGuestMemMB(512))
 	if err != nil {
 		return err
 	}

@@ -21,7 +21,7 @@ func main() {
 
 func run() error {
 	// A seeded testbed: one host, one 1 GiB victim VM ("guest0").
-	cloud, err := cloudskulk.NewCloud(1, 1024)
+	cloud, err := cloudskulk.New(1)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,13 @@ import (
 	"time"
 
 	"cloudskulk/internal/experiments"
+	"cloudskulk/internal/runner"
 )
+
+// SweepProgress is a live progress snapshot delivered to
+// ExperimentOptions.OnProgress while a sweep's cells execute: cells
+// done/total, throughput, and the estimated time remaining.
+type SweepProgress = runner.Progress
 
 // Experiment result types, re-exported so downstream tools can regenerate
 // the paper's tables and figures programmatically.

@@ -8,6 +8,7 @@ import (
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/detect"
 	"cloudskulk/internal/report"
+	"cloudskulk/internal/runner"
 )
 
 // This file makes the paper's §VI-D discussion — "can the attacker evade
@@ -68,29 +69,31 @@ type ArmsRaceResult struct {
 	Rows []ArmsRaceRow
 }
 
-// ArmsRaceSyncCountermeasure runs the six-cell matrix.
+// ArmsRaceSyncCountermeasure runs the six-cell matrix, sharding the cells
+// across the worker pool; each cell's seed depends only on its grid
+// position, so the matrix is independent of Options.Workers.
 func ArmsRaceSyncCountermeasure(o Options) (ArmsRaceResult, error) {
 	o = o.withDefaults()
-	var res ArmsRaceResult
 	attackers := []ArmsRaceAttacker{AttackerNoSync, AttackerSyncPush, AttackerSyncAllOf}
 	probes := []ArmsRaceProbe{ProbePushedFile, ProbeImage}
-	i := 0
-	for _, attacker := range attackers {
-		for _, probe := range probes {
-			i++
-			row, err := armsRaceCell(perRunSeed(o, "armsrace", i), o, attacker, probe)
-			if err != nil {
-				return ArmsRaceResult{}, fmt.Errorf("arms race %s/%s: %w", attacker, probe, err)
-			}
-			res.Rows = append(res.Rows, row)
+	rows, err := runner.Map(len(attackers)*len(probes), o.runnerOptions(), func(i int) (ArmsRaceRow, error) {
+		attacker := attackers[i/len(probes)]
+		probe := probes[i%len(probes)]
+		row, err := armsRaceCell(perRunSeed(o, "armsrace", i+1), o, attacker, probe)
+		if err != nil {
+			return ArmsRaceRow{}, fmt.Errorf("arms race %s/%s: %w", attacker, probe, err)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return ArmsRaceResult{}, err
 	}
-	return res, nil
+	return ArmsRaceResult{Rows: rows}, nil
 }
 
 func armsRaceCell(seed int64, o Options, attacker ArmsRaceAttacker, probe ArmsRaceProbe) (ArmsRaceRow, error) {
 	row := ArmsRaceRow{Attacker: attacker, Probe: probe}
-	c, err := NewCloud(seed, o.GuestMemMB)
+	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB))
 	if err != nil {
 		return row, err
 	}

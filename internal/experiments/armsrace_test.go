@@ -103,7 +103,7 @@ func TestAblationTimingGap(t *testing.T) {
 }
 
 func TestVendorImageProvisioned(t *testing.T) {
-	c, err := NewCloud(1, 32)
+	c, err := NewCloud(1, WithGuestMemMB(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestVendorImageProvisioned(t *testing.T) {
 func TestImageProbeCleanHost(t *testing.T) {
 	// On a clean host the image probe behaves like Fig. 5.
 	o := TestOptions()
-	c, err := NewCloud(o.Seed, o.GuestMemMB)
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB))
 	if err != nil {
 		t.Fatal(err)
 	}

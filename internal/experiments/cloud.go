@@ -4,6 +4,11 @@
 // Figs. 5-6 (detection timing), plus the ablation sweeps DESIGN.md §4
 // calls out. Each experiment builds its own seeded simulation, so results
 // are deterministic per (seed, options).
+//
+// Sweeps decompose into independent (config × run) cells, each owning its
+// own sim.Engine seeded by perRunSeed, and execute on the internal/runner
+// worker pool: Options.Workers bounds the parallelism and the output is
+// byte-identical to a serial run regardless of worker count.
 package experiments
 
 import (
@@ -14,8 +19,10 @@ import (
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/runner"
 	"cloudskulk/internal/sim"
 	"cloudskulk/internal/vnet"
+	"cloudskulk/internal/workload"
 )
 
 // Options scales the experiments. Defaults reproduce the paper's testbed;
@@ -35,6 +42,13 @@ type Options struct {
 	DetectPages int
 	// KSMWait is the detector's merge window.
 	KSMWait time.Duration
+	// Workers bounds the sweep worker pool; <= 0 uses GOMAXPROCS. Cell
+	// results are independent of this value — it only changes wall-clock
+	// time.
+	Workers int
+	// OnProgress, when non-nil, receives live sweep progress (cells
+	// done/total, rate, ETA) as cells complete.
+	OnProgress func(runner.Progress)
 }
 
 // DefaultOptions reproduces the paper's configuration.
@@ -86,6 +100,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// runnerOptions projects the sweep-execution knobs for internal/runner.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{Workers: o.Workers, OnProgress: o.OnProgress}
+}
+
 // Cloud is one simulated testbed: a host with a migration engine and a
 // victim VM, mirroring the paper's Fedora 22 / QEMU 2.9 machine.
 type Cloud struct {
@@ -95,6 +114,10 @@ type Cloud struct {
 	Migration *migrate.Engine
 	Victim    *qemu.VM
 
+	// Background is the victim's background activity generator when the
+	// cloud was built with WithWorkloadProfile; nil otherwise.
+	Background *workload.Background
+
 	// VendorImage records the content the cloud vendor provisioned into
 	// the guest (OS files resident in memory), and VendorImageAt where
 	// it lives. The image-probe detection variant draws its probes from
@@ -103,9 +126,51 @@ type Cloud struct {
 	VendorImageAt int
 }
 
+// cloudConfig is the option state NewCloud builds from.
+type cloudConfig struct {
+	guestMemMB  int64
+	monitorPort int
+	ksmStarted  bool
+	profile     *workload.Profile
+}
+
+// CloudOption configures NewCloud.
+type CloudOption func(*cloudConfig)
+
+// WithGuestMemMB sets the victim VM's memory size (default 1024, the
+// paper's 1 GiB guest).
+func WithGuestMemMB(mb int64) CloudOption {
+	return func(c *cloudConfig) { c.guestMemMB = mb }
+}
+
+// WithMonitorPort moves the victim's QEMU monitor off the default 5555.
+func WithMonitorPort(port int) CloudOption {
+	return func(c *cloudConfig) { c.monitorPort = port }
+}
+
+// WithKSMStarted starts the host's KSM daemon as part of testbed
+// construction, instead of leaving it stopped for the caller.
+func WithKSMStarted() CloudOption {
+	return func(c *cloudConfig) { c.ksmStarted = true }
+}
+
+// WithWorkloadProfile attaches a background guest-activity generator to
+// the victim; the handle is exposed as Cloud.Background.
+func WithWorkloadProfile(p workload.Profile) CloudOption {
+	return func(c *cloudConfig) { c.profile = &p }
+}
+
 // NewCloud builds a testbed with a running victim VM named "guest0"
-// (SSH forwarded on 2222, monitor on 5555) and an idle co-tenant.
-func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
+// (SSH forwarded on 2222, monitor on 5555 unless WithMonitorPort) and an
+// idle co-tenant. The zero-option call reproduces the paper's testbed
+// with a 1 GiB victim; the KSM daemon is created stopped unless
+// WithKSMStarted.
+func NewCloud(seed int64, opts ...CloudOption) (*Cloud, error) {
+	cc := cloudConfig{guestMemMB: 1024, monitorPort: 5555}
+	for _, opt := range opts {
+		opt(&cc)
+	}
+
 	eng := sim.NewEngine(seed)
 	network := vnet.New(eng)
 	host, err := kvm.NewHost(eng, network, "host")
@@ -116,8 +181,8 @@ func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
 	host.SetMigrationService(me)
 
 	cfg := qemu.DefaultConfig("guest0")
-	cfg.MemoryMB = guestMemMB
-	cfg.MonitorPort = 5555
+	cfg.MemoryMB = cc.guestMemMB
+	cfg.MonitorPort = cc.monitorPort
 	cfg.NetDevs[0].HostFwds = []qemu.FwdRule{{HostPort: 2222, GuestPort: 22}}
 	victim, err := host.Hypervisor().CreateVM(cfg)
 	if err != nil {
@@ -140,7 +205,7 @@ func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
 	if err := victim.RAM().LoadFile(image, imgAt); err != nil {
 		return nil, err
 	}
-	return &Cloud{
+	c := &Cloud{
 		Eng:           eng,
 		Net:           network,
 		Host:          host,
@@ -148,7 +213,14 @@ func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
 		Victim:        victim,
 		VendorImage:   image,
 		VendorImageAt: imgAt,
-	}, nil
+	}
+	if cc.ksmStarted {
+		host.KSM().Start()
+	}
+	if cc.profile != nil {
+		c.Background = workload.StartBackground(workload.VMContext(victim), *cc.profile)
+	}
+	return c, nil
 }
 
 // InstallRootkit runs the CloudSkulk installer against the cloud's victim

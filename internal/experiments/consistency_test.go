@@ -16,7 +16,7 @@ import (
 // drift from what the attack really produces, this fails.
 func TestTablesMatchRealNesting(t *testing.T) {
 	o := TestOptions()
-	c, err := NewCloud(o.Seed, o.GuestMemMB)
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB))
 	if err != nil {
 		t.Fatal(err)
 	}

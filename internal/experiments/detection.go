@@ -7,6 +7,7 @@ import (
 	"cloudskulk/internal/core"
 	"cloudskulk/internal/detect"
 	"cloudskulk/internal/report"
+	"cloudskulk/internal/runner"
 	"cloudskulk/internal/stats"
 )
 
@@ -30,11 +31,10 @@ type DetectionResult struct {
 // exists (expected: t1 >> t2 ~= t0, verdict clean).
 func Figure5DetectionClean(o Options) (DetectionResult, error) {
 	o = o.withDefaults()
-	c, err := NewCloud(o.Seed, o.GuestMemMB)
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithKSMStarted())
 	if err != nil {
 		return DetectionResult{}, err
 	}
-	c.Host.KSM().Start()
 	d := detect.NewDedupDetector(c.Host)
 	d.Pages = o.DetectPages
 	d.Wait = o.KSMWait
@@ -50,7 +50,7 @@ func Figure5DetectionClean(o Options) (DetectionResult, error) {
 // rootkit installed (expected: t1 ~= t2 >> t0, verdict nested).
 func Figure6DetectionInfected(o Options) (DetectionResult, error) {
 	o = o.withDefaults()
-	c, err := NewCloud(o.Seed, o.GuestMemMB)
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB))
 	if err != nil {
 		return DetectionResult{}, err
 	}
@@ -104,19 +104,20 @@ type AblationProbeSizeResult struct {
 // sizes.
 func AblationProbeSize(o Options, sizes []int) (AblationProbeSizeResult, error) {
 	o = o.withDefaults()
-	var res AblationProbeSizeResult
-	for i, n := range sizes {
+	verdicts, err := runner.Map(len(sizes), o.runnerOptions(), func(i int) (detect.Verdict, error) {
 		opts := o
 		opts.Seed = perRunSeed(o, "ablate-probe", i)
-		opts.DetectPages = n
+		opts.DetectPages = sizes[i]
 		out, err := Figure6DetectionInfected(opts)
 		if err != nil {
-			return AblationProbeSizeResult{}, err
+			return 0, err
 		}
-		res.Pages = append(res.Pages, n)
-		res.Verdicts = append(res.Verdicts, out.Verdict)
+		return out.Verdict, nil
+	})
+	if err != nil {
+		return AblationProbeSizeResult{}, err
 	}
-	return res, nil
+	return AblationProbeSizeResult{Pages: sizes, Verdicts: verdicts}, nil
 }
 
 // Render draws the sweep.
@@ -142,16 +143,18 @@ type AblationKSMRateResult struct {
 // AblationKSMWait runs clean-scenario detection across merge windows.
 func AblationKSMWait(o Options, waits []time.Duration) (AblationKSMRateResult, error) {
 	o = o.withDefaults()
-	var res AblationKSMRateResult
-	for i, w := range waits {
+	outs, err := runner.Map(len(waits), o.runnerOptions(), func(i int) (DetectionResult, error) {
 		opts := o
 		opts.Seed = perRunSeed(o, "ablate-ksm", i)
-		opts.KSMWait = w
-		out, err := Figure5DetectionClean(opts)
-		if err != nil {
-			return AblationKSMRateResult{}, err
-		}
-		res.Waits = append(res.Waits, w)
+		opts.KSMWait = waits[i]
+		return Figure5DetectionClean(opts)
+	})
+	if err != nil {
+		return AblationKSMRateResult{}, err
+	}
+	var res AblationKSMRateResult
+	for i, out := range outs {
+		res.Waits = append(res.Waits, waits[i])
 		res.Verdicts = append(res.Verdicts, out.Verdict)
 		res.T1Merged = append(res.T1Merged, out.Evidence.T1.MergedFraction)
 	}
@@ -185,47 +188,52 @@ type AblationTimingGapResult struct {
 // AblationTimingGap runs both scenarios across shrinking timing gaps.
 func AblationTimingGap(o Options, gapRatios []float64) (AblationTimingGapResult, error) {
 	o = o.withDefaults()
-	var res AblationTimingGapResult
-	for i, ratio := range gapRatios {
-		for _, infected := range []bool{false, true} {
-			seed := perRunSeed(o, cellLabel("ablate-gap", fmt.Sprintf("%v", infected)), i)
-			c, err := NewCloud(seed, o.GuestMemMB)
+	// The grid interleaves (ratio, clean) and (ratio, infected) so cell
+	// 2i is the clean run and 2i+1 the infected run at gapRatios[i].
+	verdicts, err := runner.Map(2*len(gapRatios), o.runnerOptions(), func(cell int) (detect.Verdict, error) {
+		i, infected := cell/2, cell%2 == 1
+		ratio := gapRatios[i]
+		seed := perRunSeed(o, cellLabel("ablate-gap", fmt.Sprintf("%v", infected)), i)
+		c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB))
+		if err != nil {
+			return 0, err
+		}
+		var rk *core.Rootkit
+		if infected {
+			rk, err = c.InstallRootkit(core.InstallConfig{})
 			if err != nil {
-				return res, err
-			}
-			var rk *core.Rootkit
-			if infected {
-				rk, err = c.InstallRootkit(core.InstallConfig{})
-				if err != nil {
-					return res, err
-				}
-			}
-			// Shrink the host's dedup timing gap.
-			costs := c.Host.KSM().Costs()
-			costs.CowBreakWrite = time.Duration(float64(costs.RegularWrite) * ratio)
-			c.Host.KSM().Start()
-			d := detect.NewDedupDetector(c.Host)
-			d.Pages = o.DetectPages
-			d.Wait = o.KSMWait
-			d.CostOverride = &costs
-			var agent *detect.GuestAgent
-			if infected {
-				agent = detect.NewGuestAgent(rk.Victim, agentPageOffset)
-				agent.OnLoad = rk.InterceptFilePushes(mirrorPageOffset)
-			} else {
-				agent = detect.NewGuestAgent(c.Victim, agentPageOffset)
-			}
-			verdict, _, err := d.Run(agent)
-			if err != nil {
-				return res, err
-			}
-			if infected {
-				res.Infected = append(res.Infected, verdict)
-			} else {
-				res.GapRatios = append(res.GapRatios, ratio)
-				res.Clean = append(res.Clean, verdict)
+				return 0, err
 			}
 		}
+		// Shrink the host's dedup timing gap.
+		costs := c.Host.KSM().Costs()
+		costs.CowBreakWrite = time.Duration(float64(costs.RegularWrite) * ratio)
+		c.Host.KSM().Start()
+		d := detect.NewDedupDetector(c.Host)
+		d.Pages = o.DetectPages
+		d.Wait = o.KSMWait
+		d.CostOverride = &costs
+		var agent *detect.GuestAgent
+		if infected {
+			agent = detect.NewGuestAgent(rk.Victim, agentPageOffset)
+			agent.OnLoad = rk.InterceptFilePushes(mirrorPageOffset)
+		} else {
+			agent = detect.NewGuestAgent(c.Victim, agentPageOffset)
+		}
+		verdict, _, err := d.Run(agent)
+		if err != nil {
+			return 0, err
+		}
+		return verdict, nil
+	})
+	var res AblationTimingGapResult
+	if err != nil {
+		return res, err
+	}
+	for i, ratio := range gapRatios {
+		res.GapRatios = append(res.GapRatios, ratio)
+		res.Clean = append(res.Clean, verdicts[2*i])
+		res.Infected = append(res.Infected, verdicts[2*i+1])
 	}
 	return res, nil
 }
@@ -263,7 +271,6 @@ type BaselineComparisonRow struct {
 // impersonation on/off).
 func BaselineComparison(o Options) (BaselineComparisonResult, error) {
 	o = o.withDefaults()
-	var res BaselineComparisonResult
 	variants := []struct {
 		name        string
 		hideVMCS    bool
@@ -273,10 +280,11 @@ func BaselineComparison(o Options) (BaselineComparisonResult, error) {
 		{"software MMU (VMCS hidden)", true, true},
 		{"naive (no impersonation)", false, false},
 	}
-	for i, v := range variants {
-		c, err := NewCloud(perRunSeed(o, "baseline-cmp", i), o.GuestMemMB)
+	rows, err := runner.Map(len(variants), o.runnerOptions(), func(i int) (BaselineComparisonRow, error) {
+		v := variants[i]
+		c, err := NewCloud(perRunSeed(o, "baseline-cmp", i), WithGuestMemMB(o.GuestMemMB))
 		if err != nil {
-			return res, err
+			return BaselineComparisonRow{}, err
 		}
 		db := detect.NewFingerprintDB()
 		db.Baseline(c.Victim)
@@ -286,7 +294,7 @@ func BaselineComparison(o Options) (BaselineComparisonResult, error) {
 		icfg.Impersonate = v.impersonate
 		rk, err := core.Installer{Host: c.Host, Migration: c.Migration}.Install(icfg)
 		if err != nil {
-			return res, err
+			return BaselineComparisonRow{}, err
 		}
 		c.Host.KSM().Start()
 		d := detect.NewDedupDetector(c.Host)
@@ -298,19 +306,22 @@ func BaselineComparison(o Options) (BaselineComparisonResult, error) {
 		}
 		verdict, _, err := d.Run(agent)
 		if err != nil {
-			return res, err
+			return BaselineComparisonRow{}, err
 		}
 		findings := detect.VMCSScanner{Host: c.Host}.Scan()
 		baseFP, _ := db.Known(c.Victim.Name())
 		fpMismatch := db.FingerprintOf(rk.RITM) != baseFP
-		res.Rows = append(res.Rows, BaselineComparisonRow{
+		return BaselineComparisonRow{
 			Attacker:        v.name,
 			DedupVerdict:    verdict,
 			VMCSFindings:    len(findings),
 			FingerprintFlag: fpMismatch,
-		})
+		}, nil
+	})
+	if err != nil {
+		return BaselineComparisonResult{}, err
 	}
-	return res, nil
+	return BaselineComparisonResult{Rows: rows}, nil
 }
 
 // Render draws the comparison.

@@ -19,7 +19,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestNewCloud(t *testing.T) {
-	c, err := NewCloud(1, 16)
+	c, err := NewCloud(1, WithGuestMemMB(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestNewCloud(t *testing.T) {
 		t.Fatalf("mem = %d", c.Victim.Config().MemoryMB)
 	}
 	// Duplicate endpoint error path.
-	if _, err := NewCloud(1, 16); err != nil {
+	if _, err := NewCloud(1, WithGuestMemMB(16)); err != nil {
 		t.Fatalf("second independent cloud failed: %v", err)
 	}
 }
@@ -357,7 +357,7 @@ func TestBaselineComparison(t *testing.T) {
 }
 
 func TestInstallRootkitViaCloud(t *testing.T) {
-	c, err := NewCloud(5, 16)
+	c, err := NewCloud(5, WithGuestMemMB(16))
 	if err != nil {
 		t.Fatal(err)
 	}

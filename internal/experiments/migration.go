@@ -8,6 +8,7 @@ import (
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
 	"cloudskulk/internal/report"
+	"cloudskulk/internal/runner"
 	"cloudskulk/internal/stats"
 	"cloudskulk/internal/workload"
 )
@@ -49,24 +50,50 @@ func figure4Workloads() []workload.Profile {
 }
 
 // Figure4Migration reproduces Fig. 4: live-migration end-to-end time for
-// idle / filebench / kernel-compile guests, both L0-L0 and L0-L1.
+// idle / filebench / kernel-compile guests, both L0-L0 and L0-L1. The
+// (workload, kind, run) grid is sharded across the worker pool; every run
+// builds an isolated testbed from its own perRunSeed, so the assembled
+// figure is independent of Options.Workers.
 func Figure4Migration(o Options) (Figure4Result, error) {
 	o = o.withDefaults()
-	var res Figure4Result
+	type gridCell struct {
+		prof workload.Profile
+		kind MigrationKind
+		run  int
+	}
+	var cells []gridCell
 	for _, prof := range figure4Workloads() {
 		for _, kind := range []MigrationKind{MigrationL0L0, MigrationL0L1} {
-			cell := Figure4Cell{Workload: prof.Name, Kind: kind, Converged: true}
 			for run := 0; run < o.Runs; run++ {
-				seed := perRunSeed(o, cellLabel("fig4", prof.Name, string(kind)), run)
-				secs, converged, err := migrateOnce(seed, o.GuestMemMB, prof, kind)
-				if err != nil {
-					return Figure4Result{}, fmt.Errorf("fig4 %s/%s run %d: %w", prof.Name, kind, run, err)
-				}
-				cell.Seconds = append(cell.Seconds, secs)
-				cell.Converged = cell.Converged && converged
+				cells = append(cells, gridCell{prof, kind, run})
 			}
-			res.Cells = append(res.Cells, cell)
 		}
+	}
+	type outcome struct {
+		secs      float64
+		converged bool
+	}
+	outs, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (outcome, error) {
+		cl := cells[i]
+		seed := perRunSeed(o, cellLabel("fig4", cl.prof.Name, string(cl.kind)), cl.run)
+		secs, converged, err := migrateOnce(seed, o.GuestMemMB, cl.prof, cl.kind)
+		if err != nil {
+			return outcome{}, fmt.Errorf("fig4 %s/%s run %d: %w", cl.prof.Name, cl.kind, cl.run, err)
+		}
+		return outcome{secs, converged}, nil
+	})
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	var res Figure4Result
+	for i := 0; i < len(cells); i += o.Runs {
+		cell := Figure4Cell{Workload: cells[i].prof.Name, Kind: cells[i].kind, Converged: true}
+		for run := 0; run < o.Runs; run++ {
+			out := outs[i+run]
+			cell.Seconds = append(cell.Seconds, out.secs)
+			cell.Converged = cell.Converged && out.converged
+		}
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }
@@ -81,15 +108,14 @@ func migrateOnce(seed int64, memMB int64, prof workload.Profile, kind MigrationK
 // engine's tunables (capability ablations).
 func migrateOnceWith(seed int64, memMB int64, prof workload.Profile, kind MigrationKind,
 	configure func(*migrate.Engine)) (float64, bool, error) {
-	c, err := NewCloud(seed, memMB)
+	c, err := NewCloud(seed, WithGuestMemMB(memMB), WithWorkloadProfile(prof))
 	if err != nil {
 		return 0, false, err
 	}
+	defer c.Background.Stop()
 	if configure != nil {
 		configure(c.Migration)
 	}
-	bg := workload.StartBackground(workload.VMContext(c.Victim), prof)
-	defer bg.Stop()
 
 	hv := c.Host.Hypervisor()
 	switch kind {
@@ -185,21 +211,31 @@ type AblationDirtyRateResult struct {
 // AblationDirtyRate measures L0-L0 migration time across dirty rates.
 func AblationDirtyRate(o Options, rates []float64) (AblationDirtyRateResult, error) {
 	o = o.withDefaults()
-	var res AblationDirtyRateResult
-	for i, rate := range rates {
+	type outcome struct {
+		secs      float64
+		converged bool
+	}
+	outs, err := runner.Map(len(rates), o.runnerOptions(), func(i int) (outcome, error) {
 		prof := workload.Profile{
 			Name:               fmt.Sprintf("sweep-%d", i),
-			DirtyPagesPerSec:   rate,
+			DirtyPagesPerSec:   rates[i],
 			WorkingSetFraction: 0.5,
 			DirtyRateJitter:    0.02,
 		}
 		secs, converged, err := migrateOnce(perRunSeed(o, "ablate-dirty", i), o.GuestMemMB, prof, MigrationL0L0)
 		if err != nil {
-			return AblationDirtyRateResult{}, err
+			return outcome{}, err
 		}
-		res.RatesPagesPerSec = append(res.RatesPagesPerSec, rate)
-		res.Seconds = append(res.Seconds, secs)
-		res.Converged = append(res.Converged, converged)
+		return outcome{secs, converged}, nil
+	})
+	if err != nil {
+		return AblationDirtyRateResult{}, err
+	}
+	var res AblationDirtyRateResult
+	for i, out := range outs {
+		res.RatesPagesPerSec = append(res.RatesPagesPerSec, rates[i])
+		res.Seconds = append(res.Seconds, out.secs)
+		res.Converged = append(res.Converged, out.converged)
 	}
 	return res, nil
 }
@@ -237,7 +273,6 @@ type AblationMigrationFeaturesResult struct {
 // four capability configurations.
 func AblationMigrationFeatures(o Options) (AblationMigrationFeaturesResult, error) {
 	o = o.withDefaults()
-	var res AblationMigrationFeaturesResult
 	variants := []struct {
 		name string
 		conf func(*migrate.Engine)
@@ -252,16 +287,28 @@ func AblationMigrationFeatures(o Options) (AblationMigrationFeaturesResult, erro
 			e.Tunables.AutoConverge = true
 		}},
 	}
-	for i, v := range variants {
+	type outcome struct {
+		secs      float64
+		converged bool
+	}
+	outs, err := runner.Map(len(variants), o.runnerOptions(), func(i int) (outcome, error) {
+		v := variants[i]
 		secs, converged, err := migrateOnceWith(
 			perRunSeed(o, "ablate-feats", i), o.GuestMemMB,
 			workload.KernelCompileProfile(), MigrationL0L1, v.conf)
 		if err != nil {
-			return res, fmt.Errorf("features %s: %w", v.name, err)
+			return outcome{}, fmt.Errorf("features %s: %w", v.name, err)
 		}
+		return outcome{secs, converged}, nil
+	})
+	var res AblationMigrationFeaturesResult
+	if err != nil {
+		return res, err
+	}
+	for i, v := range variants {
 		res.Variants = append(res.Variants, v.name)
-		res.Seconds = append(res.Seconds, secs)
-		res.Converged = append(res.Converged, converged)
+		res.Seconds = append(res.Seconds, outs[i].secs)
+		res.Converged = append(res.Converged, outs[i].converged)
 	}
 	return res, nil
 }
@@ -292,30 +339,37 @@ type AblationPrePostCopyResult struct {
 // post-copy migration and compares end-to-end install cost.
 func AblationPrePostCopy(o Options) (AblationPrePostCopyResult, error) {
 	o = o.withDefaults()
-	var res AblationPrePostCopyResult
-	for _, mode := range []migrate.Mode{migrate.PreCopy, migrate.PostCopy} {
-		c, err := NewCloud(perRunSeed(o, "ablate-mode", int(mode)), o.GuestMemMB)
+	modes := []migrate.Mode{migrate.PreCopy, migrate.PostCopy}
+	type outcome struct {
+		secs     float64
+		downtime time.Duration
+	}
+	outs, err := runner.Map(len(modes), o.runnerOptions(), func(i int) (outcome, error) {
+		mode := modes[i]
+		c, err := NewCloud(perRunSeed(o, "ablate-mode", int(mode)),
+			WithGuestMemMB(o.GuestMemMB),
+			// The victim is busy during the theft: pre-copy pays for that
+			// with downtime at the end, post-copy does not.
+			WithWorkloadProfile(workload.FilebenchProfile()))
 		if err != nil {
-			return res, err
+			return outcome{}, err
 		}
+		defer c.Background.Stop()
 		c.Migration.Tunables.Mode = mode
-		// The victim is busy during the theft: pre-copy pays for that
-		// with downtime at the end, post-copy does not.
-		bg := workload.StartBackground(workload.VMContext(c.Victim), workload.FilebenchProfile())
-		defer bg.Stop()
 		rk, err := c.InstallRootkit(core.InstallConfig{})
 		if err != nil {
-			return res, fmt.Errorf("install with %v: %w", mode, err)
+			return outcome{}, fmt.Errorf("install with %v: %w", mode, err)
 		}
-		switch mode {
-		case migrate.PreCopy:
-			res.PreCopySeconds = rk.Report.TotalTime.Seconds()
-			res.PreDowntime = rk.Report.Migration.Downtime
-		case migrate.PostCopy:
-			res.PostCopySeconds = rk.Report.TotalTime.Seconds()
-			res.PostDowntime = rk.Report.Migration.Downtime
-		}
+		return outcome{rk.Report.TotalTime.Seconds(), rk.Report.Migration.Downtime}, nil
+	})
+	var res AblationPrePostCopyResult
+	if err != nil {
+		return res, err
 	}
+	res.PreCopySeconds = outs[0].secs
+	res.PreDowntime = outs[0].downtime
+	res.PostCopySeconds = outs[1].secs
+	res.PostDowntime = outs[1].downtime
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/report"
+	"cloudskulk/internal/runner"
 	"cloudskulk/internal/sim"
 	"cloudskulk/internal/stats"
 	"cloudskulk/internal/workload"
@@ -22,6 +23,23 @@ func levelContext(seed int64, level cpu.Level, memMB int64) *workload.Context {
 	return ctx
 }
 
+// levelRunCells enumerates the (level, run) grid in report order; sweeps
+// shard it across the worker pool and reassemble by index.
+type levelRunCell struct {
+	level cpu.Level
+	run   int
+}
+
+func levelRunCells(runs int) []levelRunCell {
+	cells := make([]levelRunCell, 0, len(cpu.Levels)*runs)
+	for _, level := range cpu.Levels {
+		for run := 0; run < runs; run++ {
+			cells = append(cells, levelRunCell{level, run})
+		}
+	}
+	return cells
+}
+
 // Figure2Result holds the kernel-compile timings per level.
 type Figure2Result struct {
 	// Seconds per level, one entry per run.
@@ -32,22 +50,27 @@ type Figure2Result struct {
 // L0/L1/L2, with ccache enabled only on L0 (the paper's footnote 1).
 func Figure2KernelCompile(o Options) (Figure2Result, error) {
 	o = o.withDefaults()
-	res := Figure2Result{Seconds: make(map[cpu.Level][]float64, 3)}
-	for _, level := range cpu.Levels {
-		for run := 0; run < o.Runs; run++ {
-			ctx := levelContext(perRunSeed(o, cellLabel("fig2", level.String()), run), level, o.GuestMemMB)
-			k := workload.DefaultKernelCompile(level == cpu.L0)
-			k.Units = o.CompileUnits
-			d, err := k.Run(ctx)
-			if err != nil {
-				return Figure2Result{}, fmt.Errorf("fig2 %v run %d: %w", level, run, err)
-			}
-			// Run-to-run system variance (cron, thermal, page-cache
-			// state) that per-operation noise averages away over
-			// thousands of compilation units.
-			secs := ctx.Eng.Gauss(d.Seconds(), 0.015)
-			res.Seconds[level] = append(res.Seconds[level], secs)
+	cells := levelRunCells(o.Runs)
+	secs, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {
+		cl := cells[i]
+		ctx := levelContext(perRunSeed(o, cellLabel("fig2", cl.level.String()), cl.run), cl.level, o.GuestMemMB)
+		k := workload.DefaultKernelCompile(cl.level == cpu.L0)
+		k.Units = o.CompileUnits
+		d, err := k.Run(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("fig2 %v run %d: %w", cl.level, cl.run, err)
 		}
+		// Run-to-run system variance (cron, thermal, page-cache
+		// state) that per-operation noise averages away over
+		// thousands of compilation units.
+		return ctx.Eng.Gauss(d.Seconds(), 0.015), nil
+	})
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	res := Figure2Result{Seconds: make(map[cpu.Level][]float64, 3)}
+	for i, cl := range cells {
+		res.Seconds[cl.level] = append(res.Seconds[cl.level], secs[i])
 	}
 	return res, nil
 }
@@ -86,13 +109,19 @@ type Figure3Result struct {
 // L0/L1/L2, 5 consecutive runs averaged.
 func Figure3Netperf(o Options) (Figure3Result, error) {
 	o = o.withDefaults()
-	res := Figure3Result{Mbps: make(map[cpu.Level][]float64, 3)}
 	link := int64(2) << 30 // intra-host virtio path
-	for _, level := range cpu.Levels {
-		for run := 0; run < o.Runs; run++ {
-			ctx := levelContext(perRunSeed(o, cellLabel("fig3", level.String()), run), level, 64)
-			res.Mbps[level] = append(res.Mbps[level], workload.DefaultNetperf().Run(ctx, link))
-		}
+	cells := levelRunCells(o.Runs)
+	mbps, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {
+		cl := cells[i]
+		ctx := levelContext(perRunSeed(o, cellLabel("fig3", cl.level.String()), cl.run), cl.level, 64)
+		return workload.DefaultNetperf().Run(ctx, link), nil
+	})
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	res := Figure3Result{Mbps: make(map[cpu.Level][]float64, 3)}
+	for i, cl := range cells {
+		res.Mbps[cl.level] = append(res.Mbps[cl.level], mbps[i])
 	}
 	return res, nil
 }
@@ -123,6 +152,13 @@ func (r Figure3Result) Render() string {
 	return c.Render()
 }
 
+// lmbenchColumn is one level's measurements for a lmbench-style table:
+// operation names (identical across levels) plus one value per operation.
+type lmbenchColumn struct {
+	names []string
+	vals  []float64
+}
+
 // Table2Result holds the lmbench arithmetic table (ns per op).
 type Table2Result struct {
 	Ops   []string
@@ -132,15 +168,22 @@ type Table2Result struct {
 // Table2Arithmetic reproduces Table II.
 func Table2Arithmetic(o Options) Table2Result {
 	o = o.withDefaults()
-	res := Table2Result{Nanos: make(map[cpu.Level][]float64, 3)}
-	for _, level := range cpu.Levels {
+	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
+		level := cpu.Levels[i]
 		ctx := levelContext(perRunSeed(o, "table2", int(level)), level, 64)
+		var col lmbenchColumn
 		for _, r := range workload.RunLmbench(ctx, workload.ArithmeticOps(), o.LmbenchReps) {
-			if level == cpu.L0 {
-				res.Ops = append(res.Ops, r.Op.Name)
-			}
-			res.Nanos[level] = append(res.Nanos[level], r.Mean.Nanoseconds())
+			col.names = append(col.names, r.Op.Name)
+			col.vals = append(col.vals, r.Mean.Nanoseconds())
 		}
+		return col, nil
+	})
+	if err != nil {
+		panic(err) // cells are error-free; only a cell panic reaches here
+	}
+	res := Table2Result{Ops: cols[0].names, Nanos: make(map[cpu.Level][]float64, 3)}
+	for i, level := range cpu.Levels {
+		res.Nanos[level] = cols[i].vals
 	}
 	return res
 }
@@ -170,15 +213,22 @@ type Table3Result struct {
 // Table3Processes reproduces Table III.
 func Table3Processes(o Options) Table3Result {
 	o = o.withDefaults()
-	res := Table3Result{Micros: make(map[cpu.Level][]float64, 3)}
-	for _, level := range cpu.Levels {
+	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
+		level := cpu.Levels[i]
 		ctx := levelContext(perRunSeed(o, "table3", int(level)), level, 64)
+		var col lmbenchColumn
 		for _, r := range workload.RunLmbench(ctx, workload.ProcessOps(), o.LmbenchReps/10+1) {
-			if level == cpu.L0 {
-				res.Ops = append(res.Ops, r.Op.Name)
-			}
-			res.Micros[level] = append(res.Micros[level], r.Mean.Microseconds())
+			col.names = append(col.names, r.Op.Name)
+			col.vals = append(col.vals, r.Mean.Microseconds())
 		}
+		return col, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	res := Table3Result{Ops: cols[0].names, Micros: make(map[cpu.Level][]float64, 3)}
+	for i, level := range cpu.Levels {
+		res.Micros[level] = cols[i].vals
 	}
 	return res
 }
@@ -209,15 +259,22 @@ type Table4Result struct {
 // Table4FileOps reproduces Table IV.
 func Table4FileOps(o Options) Table4Result {
 	o = o.withDefaults()
-	res := Table4Result{PerSec: make(map[cpu.Level][]float64, 3)}
-	for _, level := range cpu.Levels {
+	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
+		level := cpu.Levels[i]
 		ctx := levelContext(perRunSeed(o, "table4", int(level)), level, 64)
+		var col lmbenchColumn
 		for _, r := range workload.RunFileOps(ctx, o.LmbenchReps/10+1) {
-			if level == cpu.L0 {
-				res.Labels = append(res.Labels, r.FileOp.Op.Name)
-			}
-			res.PerSec[level] = append(res.PerSec[level], r.PerSec)
+			col.names = append(col.names, r.FileOp.Op.Name)
+			col.vals = append(col.vals, r.PerSec)
 		}
+		return col, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	res := Table4Result{Labels: cols[0].names, PerSec: make(map[cpu.Level][]float64, 3)}
+	for i, level := range cpu.Levels {
+		res.PerSec[level] = cols[i].vals
 	}
 	return res
 }

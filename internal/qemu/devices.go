@@ -48,19 +48,6 @@ func renderMem(vm *VM) string {
 	return b.String()
 }
 
-// renderBlockstats produces the `info blockstats` view.
-func renderBlockstats(vm *VM) string {
-	var b strings.Builder
-	cfg := vm.Config()
-	for i := range cfg.Drives {
-		st, _ := vm.BlockStatsFor(i)
-		fmt.Fprintf(&b,
-			"drive%d: rd_bytes=%d wr_bytes=%d rd_operations=%d wr_operations=%d\n",
-			i, st.RdBytes, st.WrBytes, st.RdOps, st.WrOps)
-	}
-	return b.String()
-}
-
 // renderNetwork produces the `info network` view, exposing device models
 // and host-forwarding rules.
 func renderNetwork(cfg Config) string {
@@ -75,8 +62,7 @@ func renderNetwork(cfg Config) string {
 }
 
 // renderMigrate produces the `info migrate` view.
-func renderMigrate(vm *VM) string {
-	mi := vm.MigrationStatus()
+func renderMigrate(mi MigrationInfo) string {
 	if mi.Status == "" {
 		return "no migration in progress\n"
 	}

@@ -32,6 +32,9 @@ type CapabilitySetter interface {
 // attacker drives for recon (`info qtree`, `info blockstats`, ...) and for
 // the attack itself (`migrate`). It can be used programmatically through
 // Execute or served over any net.Conn (e.g. a telnet port) via Serve.
+//
+// Command semantics live in the shared registry (commands.go); Monitor is
+// only the HMP front-end: line splitting, dispatch, and text output.
 type Monitor struct {
 	vm *VM
 	// speedLimit is the migration bandwidth cap set by
@@ -58,154 +61,25 @@ func (m *Monitor) VM() *VM { return m.vm }
 func (m *Monitor) SpeedLimit() int64 { return m.speedLimit }
 
 // Execute runs one monitor command line and returns its output. Command
-// errors are returned as errors; the output (possibly empty) is what the
-// console would print on success.
+// errors are returned as errors (wrapping ErrUnknownCommand,
+// ErrNoMigrator, or the operation's own failure); the output (possibly
+// empty) is what the console would print on success.
 func (m *Monitor) Execute(line string) (string, error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "", nil
 	}
-	switch fields[0] {
-	case "help":
-		return _helpText, nil
-	case "info":
-		if len(fields) < 2 {
+	verb, args := fields[0], fields[1:]
+	if verb == "info" {
+		if len(args) == 0 {
 			return "", fmt.Errorf("%w: info requires a subcommand", ErrUnknownCommand)
 		}
-		return m.info(fields[1])
-	case "stop":
-		if err := m.vm.Pause(); err != nil {
-			return "", err
+		if _, ok := hmpIndex["info "+args[0]]; !ok {
+			return "", fmt.Errorf("%w: info %q", ErrUnknownCommand, args[0])
 		}
-		return "", nil
-	case "cont":
-		if err := m.vm.Resume(); err != nil {
-			return "", err
-		}
-		return "", nil
-	case "quit", "q":
-		if err := m.vm.Shutdown(); err != nil {
-			return "", err
-		}
-		return "", nil
-	case "system_powerdown":
-		if err := m.vm.Shutdown(); err != nil {
-			return "", err
-		}
-		return "", nil
-	case "migrate":
-		return m.migrate(fields[1:])
-	case "hostfwd_add", "hostfwd_remove":
-		if len(fields) != 2 {
-			return "", fmt.Errorf("%w: %s requires tcp::HOST-:GUEST", ErrUnknownCommand, fields[0])
-		}
-		rules, err := parseHostFwds("hostfwd=" + fields[1])
-		if err != nil || len(rules) != 1 {
-			return "", fmt.Errorf("%w: bad hostfwd spec %q", ErrUnknownCommand, fields[1])
-		}
-		if fields[0] == "hostfwd_add" {
-			return "", m.vm.AddHostFwd(rules[0])
-		}
-		return "", m.vm.RemoveHostFwd(rules[0])
-	case "migrate_set_speed":
-		if len(fields) != 2 {
-			return "", fmt.Errorf("%w: migrate_set_speed requires a value", ErrUnknownCommand)
-		}
-		n, err := parseSize(fields[1])
-		if err != nil {
-			return "", err
-		}
-		m.speedLimit = n
-		return "", nil
-	case "savevm":
-		if len(fields) != 2 {
-			return "", fmt.Errorf("%w: savevm requires a name", ErrUnknownCommand)
-		}
-		return "", m.vm.SaveSnapshot(fields[1])
-	case "loadvm":
-		if len(fields) != 2 {
-			return "", fmt.Errorf("%w: loadvm requires a name", ErrUnknownCommand)
-		}
-		return "", m.vm.LoadSnapshot(fields[1])
-	case "delvm":
-		if len(fields) != 2 {
-			return "", fmt.Errorf("%w: delvm requires a name", ErrUnknownCommand)
-		}
-		return "", m.vm.DeleteSnapshot(fields[1])
-	case "migrate_cancel":
-		c, ok := m.vm.migrator.(MigrationCanceller)
-		if !ok {
-			return "", ErrNoMigrator
-		}
-		return "", c.CancelMigration(m.vm)
-	case "migrate_set_capability":
-		if len(fields) != 3 || (fields[2] != "on" && fields[2] != "off") {
-			return "", fmt.Errorf("%w: migrate_set_capability <name> on|off", ErrUnknownCommand)
-		}
-		c, ok := m.vm.migrator.(CapabilitySetter)
-		if !ok {
-			return "", ErrNoMigrator
-		}
-		return "", c.SetMigrationCapability(m.vm, fields[1], fields[2] == "on")
-	default:
-		return "", fmt.Errorf("%w: %q", ErrUnknownCommand, fields[0])
+		verb, args = "info "+args[0], args[1:]
 	}
-}
-
-func (m *Monitor) info(what string) (string, error) {
-	switch what {
-	case "status":
-		return fmt.Sprintf("VM status: %s\n", m.vm.State()), nil
-	case "name":
-		return m.vm.Name() + "\n", nil
-	case "qtree":
-		return renderQtree(m.vm.Config()), nil
-	case "mtree":
-		return renderMtree(m.vm.Config()), nil
-	case "mem":
-		return renderMem(m.vm), nil
-	case "blockstats":
-		return renderBlockstats(m.vm), nil
-	case "network":
-		return renderNetwork(m.vm.Config()), nil
-	case "migrate":
-		return renderMigrate(m.vm), nil
-	case "snapshots":
-		snaps := m.vm.Snapshots()
-		if len(snaps) == 0 {
-			return "There is no snapshot available.\n", nil
-		}
-		var b strings.Builder
-		b.WriteString("ID  TAG          VM CLOCK\n")
-		for i, s := range snaps {
-			fmt.Fprintf(&b, "%-3d %-12s %s\n", i+1, s.Name, s.TakenAt)
-		}
-		return b.String(), nil
-	default:
-		return "", fmt.Errorf("%w: info %q", ErrUnknownCommand, what)
-	}
-}
-
-func (m *Monitor) migrate(args []string) (string, error) {
-	// Accept and ignore -d (detach); the simulated migration engine
-	// drives virtual time itself.
-	var uri string
-	for _, a := range args {
-		if strings.HasPrefix(a, "-") {
-			continue
-		}
-		uri = a
-	}
-	if uri == "" {
-		return "", fmt.Errorf("%w: migrate requires a destination uri", ErrUnknownCommand)
-	}
-	if m.vm.migrator == nil {
-		return "", ErrNoMigrator
-	}
-	if err := m.vm.migrator.Migrate(m.vm, uri); err != nil {
-		return "", err
-	}
-	return "", nil
+	return dispatchHMP(m, verb, args)
 }
 
 // parseSize parses QEMU-style sizes: plain bytes or a k/m/g suffix.
@@ -265,27 +139,3 @@ func prompt(w *bufio.Writer) error {
 	}
 	return w.Flush()
 }
-
-const _helpText = `info status -- show VM run state
-info name -- show VM name
-info qtree -- show device tree
-info mtree -- show memory map
-info mem -- show memory summary
-info blockstats -- show block device statistics
-info network -- show network devices and host forwarding
-info migrate -- show migration status
-stop -- pause the VM
-cont -- resume the VM
-migrate [-d] uri -- migrate the VM to uri (e.g. tcp:127.0.0.1:4444)
-migrate_set_speed value -- set maximum migration speed (e.g. 1g)
-migrate_cancel -- abort the current migration
-migrate_set_capability name on|off -- toggle xbzrle / auto-converge
-hostfwd_add tcp::H-:G -- forward host port H to guest port G
-hostfwd_remove tcp::H-:G -- remove a host forward
-savevm name -- checkpoint the VM
-loadvm name -- restore a checkpoint
-delvm name -- delete a checkpoint
-info snapshots -- list checkpoints
-system_powerdown -- power down the VM
-quit -- terminate QEMU
-`

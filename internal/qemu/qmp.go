@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net"
 )
@@ -23,6 +22,10 @@ import (
 //	S: {"return": {"status": "running", "running": true}}
 //
 // Commands before capability negotiation are rejected, as in real QEMU.
+//
+// Command semantics live in the shared registry (commands.go); QMPServer
+// is only the QMP front-end: JSON framing, capability negotiation, id
+// echo, and error payloads.
 
 // ErrQMPNegotiation is returned when a command arrives before
 // qmp_capabilities.
@@ -91,137 +94,32 @@ func (q *QMPServer) Greeting() QMPGreeting {
 // matching the wire behaviour.
 func (q *QMPServer) Execute(cmd QMPCommand) QMPResponse {
 	resp := QMPResponse{ID: cmd.ID}
-	fail := func(desc string) QMPResponse {
-		resp.Error = &QMPError{Class: "GenericError", Desc: desc}
-		return resp
-	}
-	ok := func(v any) QMPResponse {
-		raw, err := json.Marshal(v)
-		if err != nil {
-			return fail(err.Error())
-		}
-		resp.Return = raw
+	fail := func(e *QMPError) QMPResponse {
+		resp.Error = e
 		return resp
 	}
 
-	if cmd.Execute != "qmp_capabilities" && !q.negotiated {
-		resp.Error = &QMPError{Class: "CommandNotFound", Desc: ErrQMPNegotiation.Error()}
-		return resp
-	}
-
-	switch cmd.Execute {
-	case "qmp_capabilities":
+	// Capability negotiation is session state, not command semantics, so
+	// it is handled here rather than in the registry.
+	if cmd.Execute == "qmp_capabilities" {
 		q.negotiated = true
-		return ok(map[string]any{})
-	case "query-status":
-		return ok(map[string]any{
-			"status":  q.vm.State().String(),
-			"running": q.vm.Running(),
-		})
-	case "query-name":
-		return ok(map[string]any{"name": q.vm.Name()})
-	case "query-block":
-		type blockInfo struct {
-			Device string `json:"device"`
-			File   string `json:"file"`
-			Format string `json:"driver"`
-			SizeMB int64  `json:"size_mb"`
-		}
-		cfg := q.vm.Config()
-		out := make([]blockInfo, 0, len(cfg.Drives))
-		for i, d := range cfg.Drives {
-			out = append(out, blockInfo{
-				Device: fmt.Sprintf("drive%d", i),
-				File:   d.File,
-				Format: d.Format,
-				SizeMB: d.SizeMB,
-			})
-		}
-		return ok(out)
-	case "query-blockstats":
-		type stats struct {
-			Device string `json:"device"`
-			RdB    uint64 `json:"rd_bytes"`
-			WrB    uint64 `json:"wr_bytes"`
-			RdOps  uint64 `json:"rd_operations"`
-			WrOps  uint64 `json:"wr_operations"`
-		}
-		cfg := q.vm.Config()
-		out := make([]stats, 0, len(cfg.Drives))
-		for i := range cfg.Drives {
-			st, _ := q.vm.BlockStatsFor(i)
-			out = append(out, stats{
-				Device: fmt.Sprintf("drive%d", i),
-				RdB:    st.RdBytes, WrB: st.WrBytes,
-				RdOps: st.RdOps, WrOps: st.WrOps,
-			})
-		}
-		return ok(out)
-	case "query-memory-size-summary":
-		return ok(map[string]any{
-			"base-memory": q.vm.Config().MemoryMB << 20,
-		})
-	case "query-migrate":
-		mi := q.vm.MigrationStatus()
-		status := mi.Status
-		if status == "" {
-			status = "none"
-		}
-		return ok(map[string]any{
-			"status": status,
-			"ram": map[string]any{
-				"transferred": int64(mi.TransferredMB * (1 << 20)),
-				"remaining":   int64(mi.RemainingMB * (1 << 20)),
-				"total":       int64(mi.TotalMB * (1 << 20)),
-			},
-			"downtime":   mi.Downtime.Milliseconds(),
-			"total-time": mi.TotalTime.Milliseconds(),
-		})
-	case "stop":
-		if err := q.vm.Pause(); err != nil {
-			return fail(err.Error())
-		}
-		return ok(map[string]any{})
-	case "cont":
-		if err := q.vm.Resume(); err != nil {
-			return fail(err.Error())
-		}
-		return ok(map[string]any{})
-	case "quit":
-		if err := q.vm.Shutdown(); err != nil {
-			return fail(err.Error())
-		}
-		return ok(map[string]any{})
-	case "migrate":
-		var args struct {
-			URI string `json:"uri"`
-		}
-		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.URI == "" {
-			return fail("migrate requires a uri argument")
-		}
-		if q.vm.migrator == nil {
-			return fail(ErrNoMigrator.Error())
-		}
-		if err := q.vm.migrator.Migrate(q.vm, args.URI); err != nil {
-			return fail(err.Error())
-		}
-		return ok(map[string]any{})
-	case "migrate_set_speed":
-		var args struct {
-			Value int64 `json:"value"`
-		}
-		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.Value <= 0 {
-			return fail("migrate_set_speed requires a positive value")
-		}
-		q.vm.Monitor().speedLimit = args.Value
-		return ok(map[string]any{})
-	default:
-		resp.Error = &QMPError{
-			Class: "CommandNotFound",
-			Desc:  fmt.Sprintf("The command %s has not been found", cmd.Execute),
-		}
+		resp.Return = json.RawMessage(`{}`)
 		return resp
 	}
+	if !q.negotiated {
+		return fail(&QMPError{Class: "CommandNotFound", Desc: ErrQMPNegotiation.Error()})
+	}
+
+	payload, qerr := dispatchQMP(q.vm.Monitor(), cmd.Execute, cmd.Arguments)
+	if qerr != nil {
+		return fail(qerr)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fail(&QMPError{Class: "GenericError", Desc: err.Error()})
+	}
+	resp.Return = raw
+	return resp
 }
 
 // Serve runs a QMP session over conn: banner, then line-delimited JSON
