@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench experiments clean
+.PHONY: all build test race vet check bench fleet-bench experiments clean
 
 all: check
 
@@ -20,6 +20,9 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+fleet-bench:
+	$(GO) test -run='^$$' -bench=BenchmarkFleetMigrationStorm -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments -scale quick

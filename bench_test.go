@@ -394,6 +394,24 @@ func BenchmarkAblationPrePostCopy(b *testing.B) {
 	b.ReportMetric(post, "postcopy-install-s")
 }
 
+// BenchmarkFleetMigrationStorm quarantines an 8-host fleet's suspects
+// onto its trusted hosts under link contention and reports detection
+// coverage plus the storm's worst migration time in simulated seconds.
+func BenchmarkFleetMigrationStorm(b *testing.B) {
+	var coverage, maxMig float64
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(i)
+		res, err := cloudskulk.FleetMigrationStorm(o, []int{8}, []int{4}, []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		coverage, maxMig = row.Coverage, row.MaxMoveSec
+	}
+	b.ReportMetric(coverage, "coverage")
+	b.ReportMetric(maxMig, "max-migration-s")
+}
+
 // BenchmarkSweepWorkers regenerates Fig. 4 (the heaviest sweep: 6 cells x
 // Runs full migrations, each with its own testbed) at increasing worker
 // counts. On a multi-core machine wall-clock time drops near-linearly

@@ -32,6 +32,7 @@ import (
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/detect"
 	"cloudskulk/internal/experiments"
+	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
@@ -168,6 +169,53 @@ var (
 	// to the victim (exposed as Cloud.Background).
 	WithWorkloadProfile = experiments.WithWorkloadProfile
 )
+
+// The fleet: many hosts on one fabric.
+type (
+	// Fleet is a set of simulated hosts sharing one virtual-time engine
+	// and one network fabric, with cross-host live migration, placement,
+	// and fleet-wide detection sweeps.
+	Fleet = fleet.Fleet
+	// FleetOption configures NewFleet.
+	FleetOption = fleet.Option
+	// HostSpec describes one fleet host (name, memory, trust tag).
+	HostSpec = fleet.HostSpec
+	// PlacementPolicy constrains the fleet scheduler's host choice.
+	PlacementPolicy = fleet.Policy
+	// GuestInfo is a fleet guest's resolved placement (host plus the VM
+	// stack the operator actually reaches through the service port).
+	GuestInfo = fleet.GuestInfo
+	// MoveReport summarizes one fleet migration: route, attempts,
+	// retries, and the underlying migration result.
+	MoveReport = fleet.MoveReport
+	// SweepVerdict is one guest's outcome in a fleet detection sweep.
+	SweepVerdict = fleet.GuestVerdict
+	// SweepOptions configures a fleet detection sweep.
+	SweepOptions = fleet.SweepOptions
+	// LinkSpec is a fabric link's bandwidth/latency/down state.
+	LinkSpec = vnet.LinkSpec
+)
+
+// Fleet option constructors.
+var (
+	// WithHosts builds n uniform hosts (h00, h01, ...) with the trailing
+	// quarter tagged trusted.
+	WithHosts = fleet.WithHosts
+	// WithHostSpecs builds exactly the given hosts.
+	WithHostSpecs = fleet.WithHostSpecs
+	// WithHostLink sets the host<->host fabric link spec.
+	WithHostLink = fleet.WithHostLink
+	// WithRetry sets the migration retry budget and initial backoff.
+	WithRetry = fleet.WithRetry
+)
+
+// NewFleet builds a seeded multi-host fleet: N hosts on a shared fabric
+// with per-pair links, a common live-migration engine, and a deterministic
+// placement scheduler. The zero-option call builds four hosts (one
+// trusted) on 1 Gbit-class links.
+func NewFleet(seed int64, opts ...FleetOption) (*Fleet, error) {
+	return fleet.New(seed, opts...)
+}
 
 // New builds a seeded testbed: one host with a running victim VM
 // ("guest0", SSH forwarded on host port 2222, QEMU monitor on 5555), a

@@ -6,7 +6,7 @@
 //	experiments [-scale full|quick] [-seed N] [-only artefact] [-workers N]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
-// baselines, ablations. Default runs all of them.
+// baselines, fleetstorm, ablations. Default runs all of them.
 //
 // Sweeps shard their cells across -workers goroutines (default GOMAXPROCS);
 // the rendered artefacts are byte-identical for any worker count. Live
@@ -149,6 +149,13 @@ func run(args []string) error {
 		}},
 		{"watchdog", func() (string, error) {
 			r, err := cloudskulk.TimeToDetect(o, 10*time.Minute)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fleetstorm", func() (string, error) {
+			r, err := cloudskulk.FleetMigrationStorm(o, []int{2, 4, 8}, []int{1, 2, 4}, []float64{0.25})
 			if err != nil {
 				return "", err
 			}

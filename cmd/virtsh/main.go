@@ -12,9 +12,20 @@
 //	reboot web
 //	destroy web
 //
+// With -hosts N the session runs against an N-host fleet instead of a
+// single machine, and fleet-level commands become available alongside the
+// usual domain commands (which then operate on the first host, h00):
+//
+//	hosts                          list hosts, trust tags, free memory
+//	link down <host>               take every fabric link of <host> down
+//	link up <host>                 bring them back
+//	fleet spawn <host> <guest> <memMB>
+//	fleet migrate <guest> <host>   cross-host live migration
+//	fleet guests                   list guests and their placement
+//
 // Usage:
 //
-//	virtsh [-seed N] [-f script]
+//	virtsh [-seed N] [-hosts N] [-f script]
 package main
 
 import (
@@ -23,8 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/sim"
@@ -42,18 +55,33 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("virtsh", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
+	hosts := fs.Int("hosts", 0, "run against an N-host fleet instead of one machine")
 	script := fs.String("f", "", "script file (default: stdin)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng := sim.NewEngine(*seed)
-	network := vnet.New(eng)
-	host, err := kvm.NewHost(eng, network, "host")
-	if err != nil {
-		return err
+	var (
+		host *kvm.Host
+		fl   *fleet.Fleet
+		err  error
+	)
+	if *hosts > 0 {
+		fl, err = fleet.New(*seed, fleet.WithHosts(*hosts))
+		if err != nil {
+			return err
+		}
+		if host, err = fl.Host(fl.HostNames()[0]); err != nil {
+			return err
+		}
+	} else {
+		eng := sim.NewEngine(*seed)
+		network := vnet.New(eng)
+		if host, err = kvm.NewHost(eng, network, "host"); err != nil {
+			return err
+		}
+		host.SetMigrationService(migrate.NewEngine(eng, network))
 	}
-	host.SetMigrationService(migrate.NewEngine(eng, network))
 	mgr := virtman.NewManager(host)
 
 	input := stdin
@@ -76,7 +104,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		out, err := virtman.Execute(mgr, line)
+		out, handled, err := fleetExecute(fl, line)
+		if !handled {
+			out, err = virtman.Execute(mgr, line)
+		}
 		if err != nil {
 			fmt.Fprintf(stdout, "error: %v\n", err)
 			continue
@@ -86,4 +117,67 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return sc.Err()
+}
+
+// fleetExecute intercepts fleet-level commands; everything else falls
+// through to the per-host virtman shell. handled is true when the line was
+// a fleet command (even one that failed), so domain-command errors stay
+// virtman's.
+func fleetExecute(fl *fleet.Fleet, line string) (out string, handled bool, err error) {
+	f := strings.Fields(line)
+	switch {
+	case f[0] == "hosts", f[0] == "link", f[0] == "fleet":
+	default:
+		return "", false, nil
+	}
+	if fl == nil {
+		return "", true, fmt.Errorf("%q needs a fleet session (run with -hosts N)", f[0])
+	}
+	var b strings.Builder
+	switch {
+	case f[0] == "hosts" && len(f) == 1:
+		for _, h := range fl.HostNames() {
+			tag := ""
+			if fl.Trusted(h) {
+				tag = "  trusted"
+			}
+			fmt.Fprintf(&b, "%s  free %d MB%s\n", h, fl.FreeMemMB(h), tag)
+		}
+		return b.String(), true, nil
+	case f[0] == "link" && len(f) == 3 && (f[1] == "down" || f[1] == "up"):
+		if err := fl.SetHostLink(f[2], f[1] == "down"); err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("link %s: %s\n", f[1], f[2]), true, nil
+	case f[0] == "fleet" && len(f) == 5 && f[1] == "spawn":
+		memMB, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return "", true, fmt.Errorf("fleet spawn: bad memory size %q", f[4])
+		}
+		if _, err := fl.StartGuest(f[2], f[3], memMB); err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("spawned %s on %s\n", f[3], f[2]), true, nil
+	case f[0] == "fleet" && len(f) == 4 && f[1] == "migrate":
+		rep, err := fl.MigrateVM(f[2], f[3])
+		if err != nil {
+			return "", true, err
+		}
+		fmt.Fprintf(&b, "migrated %s: %s -> %s in %s", rep.Guest, rep.From, rep.To, rep.Duration)
+		if rep.Retries > 0 {
+			fmt.Fprintf(&b, " (%d retries)", rep.Retries)
+		}
+		b.WriteString("\n")
+		return b.String(), true, nil
+	case f[0] == "fleet" && len(f) == 2 && f[1] == "guests":
+		for _, g := range fl.GuestNames() {
+			info, err := fl.Lookup(g)
+			if err != nil {
+				return "", true, err
+			}
+			fmt.Fprintf(&b, "%s  on %s  port %d\n", g, info.Host, info.ServicePort)
+		}
+		return b.String(), true, nil
+	}
+	return "", true, fmt.Errorf("unknown fleet command %q", line)
 }

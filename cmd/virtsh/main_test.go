@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func shell(t *testing.T, args []string, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// TestSingleHostSessionStillWorks: the classic one-machine session is
+// unchanged when -hosts is not given, and fleet commands explain what they
+// need instead of panicking.
+func TestSingleHostSessionStillWorks(t *testing.T) {
+	out := shell(t, nil, `
+define {"name":"web","memory_mb":64,"vcpus":1,"kvm":true}
+start web
+list
+hosts
+`)
+	if !strings.Contains(out, "web") || !strings.Contains(out, "running") {
+		t.Fatalf("list output missing running domain:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "-hosts") {
+		t.Fatalf("fleet command without a fleet should point at -hosts:\n%s", out)
+	}
+}
+
+// TestFleetSessionLinkDownBlocksMigration drives the link down / link up
+// cycle: migration over a downed fabric link fails with the link-down
+// error, and succeeds once the link is restored.
+func TestFleetSessionLinkDownBlocksMigration(t *testing.T) {
+	out := shell(t, []string{"-hosts", "4"}, `
+hosts
+fleet spawn h00 web 64
+link down h01
+fleet migrate web h01
+link up h01
+fleet migrate web h01
+fleet guests
+`)
+	if !strings.Contains(out, "h03  free 8192 MB  trusted") {
+		t.Fatalf("hosts listing missing trusted tag:\n%s", out)
+	}
+	if !strings.Contains(out, "spawned web on h00") {
+		t.Fatalf("spawn missing:\n%s", out)
+	}
+	if !strings.Contains(out, "link down: h01") {
+		t.Fatalf("link down ack missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "link down") ||
+		!strings.Contains(out, "migration failed") {
+		t.Fatalf("migration over downed link should surface the typed error:\n%s", out)
+	}
+	if !strings.Contains(out, "migrated web: h00 -> h01") {
+		t.Fatalf("migration after link up should succeed:\n%s", out)
+	}
+	if !strings.Contains(out, "web  on h01  port 2200") {
+		t.Fatalf("guest listing should show the new placement:\n%s", out)
+	}
+}
+
+// TestFleetCommandArityErrors: malformed fleet commands report themselves
+// instead of reaching the domain shell.
+func TestFleetCommandArityErrors(t *testing.T) {
+	out := shell(t, []string{"-hosts", "2"}, `
+fleet spawn h00 web
+link sideways h01
+`)
+	if got := strings.Count(out, "error: unknown fleet command"); got != 2 {
+		t.Fatalf("want 2 arity errors, got %d:\n%s", got, out)
+	}
+}

@@ -147,3 +147,11 @@ func AblationProbeSize(o ExperimentOptions, sizes []int) (experiments.AblationPr
 func AblationKSMWait(o ExperimentOptions, waits []time.Duration) (experiments.AblationKSMRateResult, error) {
 	return experiments.AblationKSMWait(o, waits)
 }
+
+// FleetMigrationStorm sweeps fleet size × concurrent migrations ×
+// infected fraction: each cell quarantines its suspects onto trusted
+// hosts under link contention, then sweeps the whole fleet with the
+// dedup detector.
+func FleetMigrationStorm(o ExperimentOptions, hostCounts, concurrencies []int, infectedFracs []float64) (*experiments.FleetStormResult, error) {
+	return experiments.FleetMigrationStorm(o, hostCounts, concurrencies, infectedFracs)
+}

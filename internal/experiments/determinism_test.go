@@ -42,6 +42,10 @@ func TestSweepsWorkerCountInvariant(t *testing.T) {
 			r, err := AblationKSMWait(o, []time.Duration{2 * time.Second, 10 * time.Second})
 			return r.Render(), err
 		}},
+		{"fleetstorm", func(o Options) (string, error) {
+			r, err := FleetMigrationStorm(o, []int{4}, []int{1, 2}, []float64{0.5})
+			return r.Render(), err
+		}},
 	}
 	for _, tc := range renderers {
 		tc := tc

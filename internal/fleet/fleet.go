@@ -1,0 +1,372 @@
+// Package fleet scales the single-machine CloudSkulk testbed to a
+// datacenter: N simulated hosts share one sim.Engine and one vnet fabric
+// with explicit host<->host links (bandwidth, latency, failable), guests
+// are tracked in a registry by logical name, and live migration moves
+// them between hosts — the operational setting where the paper's defence
+// actually runs (migrate a suspect guest to a trusted host, run the KSM
+// timing protocol there, evacuate around failures).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/migrate"
+	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/vnet"
+)
+
+// Errors callers match on.
+var (
+	ErrUnknownHost        = errors.New("fleet: unknown host")
+	ErrUnknownGuest       = errors.New("fleet: unknown guest")
+	ErrDuplicateGuest     = errors.New("fleet: guest already exists")
+	ErrSameHost           = errors.New("fleet: guest already on that host")
+	ErrInsufficientMemory = errors.New("fleet: destination lacks free memory")
+	ErrNoPlacement        = errors.New("fleet: no host satisfies placement policy")
+	ErrMigrationFailed    = errors.New("fleet: migration failed")
+)
+
+// Port layout: each guest gets a fleet-unique service/monitor/QMP port so
+// migrations can land it on any host without colliding with residents,
+// and every cross-host migration gets a fresh incoming port.
+const (
+	serviceBasePort   = 2200
+	monitorBasePort   = 5600
+	qmpBasePort       = 5900
+	migrationBasePort = 41000
+)
+
+// DefaultHostMemMB is the guest-memory budget of a host without an
+// explicit capacity.
+const DefaultHostMemMB = 8192
+
+// HostSpec describes one physical machine of the fleet.
+type HostSpec struct {
+	Name string
+	// MemMB is the host's guest-memory budget (DefaultHostMemMB if 0).
+	MemMB int64
+	// Trusted marks the host as a clean-room machine the operator
+	// migrates suspect guests onto before running detection.
+	Trusted bool
+}
+
+// config is the option state New builds from.
+type config struct {
+	hosts    []HostSpec
+	hostLink vnet.LinkSpec
+	retries  int
+	backoff  time.Duration
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithHosts sizes the fleet to n uniformly-specced hosts named h00..hNN;
+// the last max(1, n/4) are trusted.
+func WithHosts(n int) Option {
+	return func(c *config) {
+		c.hosts = c.hosts[:0]
+		trustedFrom := n - maxInt(1, n/4)
+		for i := 0; i < n; i++ {
+			c.hosts = append(c.hosts, HostSpec{
+				Name:    fmt.Sprintf("h%02d", i),
+				Trusted: i >= trustedFrom,
+			})
+		}
+	}
+}
+
+// WithHostSpecs replaces the host list with an explicit set of specs.
+func WithHostSpecs(specs ...HostSpec) Option {
+	return func(c *config) { c.hosts = append(c.hosts[:0], specs...) }
+}
+
+// WithHostLink sets the link spec installed between every host pair
+// (default: a 1 GbE-class 125 MiB/s, 200 µs datacenter link).
+func WithHostLink(spec vnet.LinkSpec) Option {
+	return func(c *config) { c.hostLink = spec }
+}
+
+// WithRetry sets how often a migration aborted by the network is retried
+// and the initial backoff between attempts (doubling per retry). Defaults:
+// 3 attempts, 2 s.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *config) { c.retries, c.backoff = attempts, backoff }
+}
+
+// guest is one registry entry. The qemu.VM instances backing a guest
+// change across migrations (and infections), so the record stores only
+// stable facts; Lookup resolves the current instances through the
+// host-side forward chain, exactly like an operator would.
+type guest struct {
+	name        string
+	host        string
+	memMB       int64
+	servicePort int
+}
+
+// Fleet is a set of simulated hosts sharing one engine, one network
+// fabric, and one migration engine.
+type Fleet struct {
+	eng   *sim.Engine
+	net   *vnet.Network
+	mig   *migrate.Engine
+	hosts map[string]*kvm.Host
+	specs map[string]HostSpec
+	order []string // host names, sorted
+
+	guests  map[string]*guest
+	nextIdx int // fleet-wide guest counter (port layout)
+	gen     int // migration generation counter (instance names, ports)
+
+	retries int
+	backoff time.Duration
+}
+
+// New builds a fleet on a fresh seeded engine. Without options it has 4
+// hosts (h00..h03, h03 trusted) joined by a full mesh of default
+// datacenter links.
+func New(seed int64, opts ...Option) (*Fleet, error) {
+	c := config{
+		hostLink: vnet.LinkSpec{Bandwidth: 125 << 20, Latency: 200 * time.Microsecond},
+		retries:  3,
+		backoff:  2 * time.Second,
+	}
+	WithHosts(4)(&c)
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if len(c.hosts) == 0 {
+		return nil, errors.New("fleet: no hosts")
+	}
+	if c.retries < 1 {
+		c.retries = 1
+	}
+
+	eng := sim.NewEngine(seed)
+	network := vnet.New(eng)
+	mig := migrate.NewEngine(eng, network)
+
+	f := &Fleet{
+		eng:     eng,
+		net:     network,
+		mig:     mig,
+		hosts:   make(map[string]*kvm.Host, len(c.hosts)),
+		specs:   make(map[string]HostSpec, len(c.hosts)),
+		guests:  make(map[string]*guest),
+		retries: c.retries,
+		backoff: c.backoff,
+	}
+	for _, spec := range c.hosts {
+		if spec.MemMB <= 0 {
+			spec.MemMB = DefaultHostMemMB
+		}
+		if _, dup := f.hosts[spec.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate host %q", spec.Name)
+		}
+		h, err := kvm.NewHost(eng, network, spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		h.SetMigrationService(mig)
+		f.hosts[spec.Name] = h
+		f.specs[spec.Name] = spec
+		f.order = append(f.order, spec.Name)
+	}
+	sort.Strings(f.order)
+	// Full mesh of explicit host-pair links. Guest NICs attach to their
+	// host (kvm.CreateVM), so these links govern all cross-host traffic
+	// while intra-host paths keep the fabric's default loopback link.
+	for i, a := range f.order {
+		for _, b := range f.order[i+1:] {
+			network.SetLink(a, b, c.hostLink)
+		}
+	}
+	return f, nil
+}
+
+// Engine returns the shared simulation engine.
+func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Network returns the shared fabric.
+func (f *Fleet) Network() *vnet.Network { return f.net }
+
+// Migration returns the shared live-migration engine.
+func (f *Fleet) Migration() *migrate.Engine { return f.mig }
+
+// Host returns a host by name.
+func (f *Fleet) Host(name string) (*kvm.Host, error) {
+	h, ok := f.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	return h, nil
+}
+
+// HostNames returns all host names, sorted.
+func (f *Fleet) HostNames() []string {
+	return append([]string(nil), f.order...)
+}
+
+// Trusted reports whether the named host carries the trusted tag.
+func (f *Fleet) Trusted(name string) bool { return f.specs[name].Trusted }
+
+// TrustedHosts returns the trusted host names, sorted.
+func (f *Fleet) TrustedHosts() []string {
+	var out []string
+	for _, name := range f.order {
+		if f.specs[name].Trusted {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// GuestNames returns all registered guest names, sorted.
+func (f *Fleet) GuestNames() []string {
+	out := make([]string, 0, len(f.guests))
+	for name := range f.guests {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GuestsOn returns the guests placed on a host, sorted.
+func (f *Fleet) GuestsOn(host string) []string {
+	var out []string
+	for name, g := range f.guests {
+		if g.host == host {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeMemMB returns a host's guest-memory budget minus the logical
+// footprint of the guests placed on it.
+func (f *Fleet) FreeMemMB(host string) int64 {
+	free := f.specs[host].MemMB
+	for _, g := range f.guests {
+		if g.host == host {
+			free -= g.memMB
+		}
+	}
+	return free
+}
+
+// StartGuest creates and boots a guest on the named host, assigning it a
+// fleet-unique service port (SSH forward), monitor port, and QMP port.
+func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
+	hv, err := f.Host(host)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := f.guests[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateGuest, name)
+	}
+	if memMB <= 0 {
+		return nil, fmt.Errorf("fleet: guest %q needs memory > 0", name)
+	}
+	if f.FreeMemMB(host) < memMB {
+		return nil, fmt.Errorf("%w: %q on %q", ErrInsufficientMemory, name, host)
+	}
+	idx := f.nextIdx
+	cfg := qemu.DefaultConfig(name)
+	cfg.MemoryMB = memMB
+	cfg.MonitorPort = monitorBasePort + idx
+	cfg.QMPPort = qmpBasePort + idx
+	servicePort := serviceBasePort + idx
+	cfg.NetDevs[0].HostFwds = []qemu.FwdRule{{HostPort: servicePort, GuestPort: 22}}
+	vm, err := hv.Hypervisor().CreateVM(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := hv.Hypervisor().Launch(name); err != nil {
+		return nil, err
+	}
+	f.nextIdx++
+	f.guests[name] = &guest{name: name, host: host, memMB: memMB, servicePort: servicePort}
+	return vm, nil
+}
+
+// GuestInfo is the operator's current view of a guest: where it is and
+// which VM instances presently back it. Outer is the L0 QEMU process on
+// the host (the rootkit-in-the-middle when the guest is infected); Inner
+// is the VM the user's agent actually runs in (== Outer when clean, the
+// nested L2 VM when infected).
+type GuestInfo struct {
+	Name        string
+	Host        string
+	MemMB       int64
+	ServicePort int
+	Outer       *qemu.VM
+	Inner       *qemu.VM
+}
+
+// Lookup resolves a guest by following the host-side service-port
+// forward chain — the same vantage an operator has, which keeps the
+// registry honest across migrations and even across a CloudSkulk install
+// (where the outer VM is silently replaced).
+func (f *Fleet) Lookup(name string) (GuestInfo, error) {
+	g, ok := f.guests[name]
+	if !ok {
+		return GuestInfo{}, fmt.Errorf("%w: %q", ErrUnknownGuest, name)
+	}
+	final, hops, err := f.net.ResolveForward(vnet.Addr{Endpoint: g.host, Port: g.servicePort})
+	if err != nil {
+		return GuestInfo{}, err
+	}
+	hv := f.hosts[g.host].Hypervisor()
+	inner, ok := hv.FindByEndpoint(final.Endpoint)
+	if !ok {
+		return GuestInfo{}, fmt.Errorf("%w: %q has no VM behind %s", ErrUnknownGuest, name, final)
+	}
+	outer := inner
+	// hops[0] is the host itself; a second hop means the service chain
+	// passes through an interposed L0 VM (the RITM).
+	if len(hops) > 1 {
+		if vm, ok := hv.FindByEndpoint(hops[1]); ok {
+			outer = vm
+		}
+	}
+	return GuestInfo{
+		Name:        name,
+		Host:        g.host,
+		MemMB:       g.memMB,
+		ServicePort: g.servicePort,
+		Outer:       outer,
+		Inner:       inner,
+	}, nil
+}
+
+// SetHostLink takes every link touching the named host down (or back up)
+// — a top-of-rack failure in one call. Transfers crossing a downed link
+// abort with an error matching vnet.ErrLinkDown.
+func (f *Fleet) SetHostLink(host string, down bool) error {
+	if _, ok := f.hosts[host]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	for _, other := range f.order {
+		if other == host {
+			continue
+		}
+		spec := f.net.Link(host, other)
+		spec.Down = down
+		f.net.SetLink(host, other, spec)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import "fmt"
+
+// Policy constrains destination choice for a placement decision.
+type Policy struct {
+	// RequireTrusted restricts candidates to hosts carrying the trusted
+	// tag — the "move it to a clean machine first" step of the paper's
+	// operational defence.
+	RequireTrusted bool
+	// AvoidGuests lists guests the moved guest must not share a host
+	// with (anti-affinity).
+	AvoidGuests []string
+	// MinFreeMB requires the destination to keep at least this much
+	// budget free after placing the guest.
+	MinFreeMB int64
+}
+
+// PickHost deterministically chooses a destination for the named guest:
+// candidates are filtered (source host excluded, trust tag, free memory,
+// anti-affinity) and ranked by most free memory, ties broken by name.
+// Determinism matters: sweeps re-run placement under different worker
+// counts and must produce identical fleets.
+func (f *Fleet) PickHost(guestName string, pol Policy) (string, error) {
+	g, ok := f.guests[guestName]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownGuest, guestName)
+	}
+	avoid := make(map[string]bool, len(pol.AvoidGuests))
+	for _, other := range pol.AvoidGuests {
+		if o, ok := f.guests[other]; ok && other != guestName {
+			avoid[o.host] = true
+		}
+	}
+	best, bestFree := "", int64(0)
+	for _, host := range f.order {
+		if host == g.host || avoid[host] {
+			continue
+		}
+		if pol.RequireTrusted && !f.specs[host].Trusted {
+			continue
+		}
+		free := f.FreeMemMB(host)
+		if free < g.memMB+pol.MinFreeMB {
+			continue
+		}
+		if best == "" || free > bestFree {
+			best, bestFree = host, free
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: for %q", ErrNoPlacement, guestName)
+	}
+	return best, nil
+}

@@ -211,6 +211,12 @@ func (hv *Hypervisor) CreateVM(cfg qemu.Config) (*qemu.VM, error) {
 	if err := hv.host.net.AddEndpoint(endpoint); err != nil {
 		return nil, fmt.Errorf("kvm: create vm %q: %w", cfg.Name, err)
 	}
+	// The NIC's traffic is physically carried by whatever machine runs the
+	// QEMU process, so cross-host links govern cross-host guest traffic.
+	if err := hv.host.net.Attach(endpoint, hv.hostEndpoint()); err != nil {
+		hv.host.net.RemoveEndpoint(endpoint)
+		return nil, fmt.Errorf("kvm: create vm %q: %w", cfg.Name, err)
+	}
 	vm := qemu.NewVM(hv.host.eng, cfg, hv.host.Model, hv.GuestLevel(), endpoint)
 	vm.VCPU().Noise = 0.01
 

@@ -260,7 +260,11 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 	}
 
 	e.active[vm] = true
+	// Hold a flow on the source-host<->destination-host link for the whole
+	// migration so concurrent migrations sharing that link contend.
+	release := e.net.AcquireFlow(e.hostOf[vm], dst.Endpoint())
 	defer func() {
+		release()
 		delete(e.active, vm)
 		delete(e.cancelled, vm)
 	}()
@@ -295,20 +299,31 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 }
 
 // effectiveBandwidth computes the modelled transfer rate between source
-// host and destination endpoint, honoring the speed cap, the link, and the
-// nested-receive penalty.
+// host and destination endpoint, honoring the speed cap, the link (an
+// explicit pair link, or the link between the endpoints' attachment
+// roots — the host<->host path for cross-host migrations), contention
+// from concurrent transfers sharing the link, and the nested-receive
+// penalty. A link that is down aborts the migration with a typed error
+// that matches both ErrAborted and vnet.ErrLinkDown.
 func (e *Engine) effectiveBandwidth(vm, dst *qemu.VM) (int64, error) {
 	srcHost := e.hostOf[vm]
 	link := e.net.Link(srcHost, dst.Endpoint())
 	if link.Down {
-		return 0, fmt.Errorf("%w: link down", ErrAborted)
+		return 0, fmt.Errorf("%w: %w: %s<->%s", ErrAborted, vnet.ErrLinkDown, srcHost, dst.Endpoint())
 	}
 	bw := e.Tunables.BandwidthLimit
 	if limit := vm.Monitor().SpeedLimit(); limit > 0 && limit < bw {
 		bw = limit
 	}
-	if link.Bandwidth > 0 && link.Bandwidth < bw {
-		bw = link.Bandwidth
+	// Concurrent migrations crossing the same physical link split its
+	// capacity evenly; the fair share is recomputed at every round
+	// boundary, so a storm's rounds slow down as peers join.
+	linkBW := link.Bandwidth
+	if flows := e.net.Flows(srcHost, dst.Endpoint()); flows > 1 && linkBW > 0 {
+		linkBW /= int64(flows)
+	}
+	if linkBW > 0 && linkBW < bw {
+		bw = linkBW
 	}
 	if dst.Level() >= cpu.L2 {
 		bw = int64(float64(bw) / (1 + e.Tunables.NestedReceiveOverhead))
@@ -358,6 +373,14 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 	totalMB := float64(vm.Config().MemoryMB)
 	// Round 1 transfers all of RAM.
 	src.MarkAllDirty()
+	// Publish the active state up front: monitor queries fired while a
+	// round is streaming (the engine keeps running events during RunFor)
+	// must see an in-flight migration, not a stale pre-start view.
+	vm.SetMigrationInfo(qemu.MigrationInfo{
+		Status:      "active",
+		RemainingMB: totalMB,
+		TotalMB:     totalMB,
+	})
 
 	var sent map[int]bool
 	if e.Tunables.XBZRLE {

@@ -1,0 +1,125 @@
+package qemu_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudskulk/internal/fleet"
+	"cloudskulk/internal/qemu"
+)
+
+// migrateView is the slice of migration state both protocols must agree
+// on: status string and transferred RAM.
+type migrateView struct {
+	Status        string
+	TransferredMB string
+}
+
+// hmpMigrateView probes `info migrate` over the human monitor protocol.
+// ok is false while no migration has started yet.
+func hmpMigrateView(t *testing.T, vm *qemu.VM) (migrateView, bool) {
+	t.Helper()
+	out, err := vm.Monitor().Execute("info migrate")
+	if err != nil {
+		t.Fatalf("info migrate: %v", err)
+	}
+	var v migrateView
+	for _, line := range strings.Split(out, "\n") {
+		if s, ok := strings.CutPrefix(line, "Migration status: "); ok {
+			v.Status = s
+		}
+		if s, ok := strings.CutPrefix(line, "transferred ram: "); ok {
+			v.TransferredMB = strings.TrimSuffix(s, " MB")
+		}
+	}
+	return v, v.Status != ""
+}
+
+// qmpMigrateView probes `query-migrate` over QMP.
+func qmpMigrateView(t *testing.T, vm *qemu.VM) migrateView {
+	t.Helper()
+	q := vm.QMP()
+	if resp := q.Execute(qemu.QMPCommand{Execute: "qmp_capabilities"}); resp.Error != nil {
+		t.Fatalf("qmp negotiation: %+v", resp.Error)
+	}
+	resp := q.Execute(qemu.QMPCommand{Execute: "query-migrate"})
+	if resp.Error != nil {
+		t.Fatalf("query-migrate: %+v", resp.Error)
+	}
+	var ret struct {
+		Status string `json:"status"`
+		RAM    struct {
+			Transferred int64 `json:"transferred"`
+		} `json:"ram"`
+	}
+	if err := json.Unmarshal(resp.Return, &ret); err != nil {
+		t.Fatal(err)
+	}
+	return migrateView{
+		Status:        ret.Status,
+		TransferredMB: fmt.Sprintf("%.0f", float64(ret.RAM.Transferred)/(1<<20)),
+	}
+}
+
+// TestHMPQMPMigrateParity: for an in-flight cross-host migration, the HMP
+// `info migrate` and QMP `query-migrate` views of the source VM report the
+// same status and transferred-bytes figure — both render the one
+// MigrationInfo snapshot, never divergent copies.
+func TestHMPQMPMigrateParity(t *testing.T) {
+	f, err := fleet.New(3, fleet.WithHosts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.StartGuest("h00", "web", 256); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Lookup("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := info.Outer
+
+	// The probe rides the shared virtual clock: it fires inside
+	// MigrateVM's event rounds. Migration start isn't instant (the
+	// destination clone boots first), so keep probing until the active
+	// phase is caught, then track it second by second.
+	probes := 0
+	var probe func()
+	probe = func() {
+		hmp, started := hmpMigrateView(t, src)
+		if started {
+			qmp := qmpMigrateView(t, src)
+			if hmp.Status != qmp.Status || hmp.TransferredMB != qmp.TransferredMB {
+				t.Errorf("protocols diverge mid-flight: HMP %+v, QMP %+v", hmp, qmp)
+			}
+			if hmp.Status == "active" {
+				probes++
+			}
+		}
+		if !started || hmp.Status == "active" {
+			f.Engine().Schedule(time.Second, "parity.probe", probe)
+		}
+	}
+	f.Engine().Schedule(time.Second, "parity.probe", probe)
+
+	if _, err := f.MigrateVM("web", "h01"); err != nil {
+		t.Fatal(err)
+	}
+	if probes == 0 {
+		t.Fatal("no probe observed an active migration")
+	}
+
+	// After completion the retired source still answers both protocols
+	// with the final state.
+	hmp, ok := hmpMigrateView(t, src)
+	qmp := qmpMigrateView(t, src)
+	if !ok || hmp.Status != "completed" || qmp.Status != "completed" {
+		t.Fatalf("final status: HMP %+v, QMP %+v", hmp, qmp)
+	}
+	if hmp.TransferredMB != qmp.TransferredMB {
+		t.Fatalf("final transferred diverges: HMP %+v, QMP %+v", hmp, qmp)
+	}
+}

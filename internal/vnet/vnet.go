@@ -124,6 +124,19 @@ type Network struct {
 	forwards  map[Addr]Addr
 	links     map[linkKey]LinkSpec
 
+	// attachments maps an endpoint to the endpoint it is physically
+	// carried by (a VM NIC rides its host's uplink; a nested NIC rides
+	// the enclosing VM's NIC). Link lookup between two endpoints with no
+	// explicit pair link falls back to the link between their attachment
+	// roots, so one host<->host link governs all traffic between guests
+	// of those hosts.
+	attachments map[string]string
+	// flows counts concurrent bulk transfers per attachment root, so
+	// simultaneous migrations sharing a physical uplink (many sources
+	// converging on one destination host, or one source fanning out)
+	// contend for its bandwidth.
+	flows map[string]int
+
 	// DefaultLink is used for endpoint pairs without an explicit link.
 	// The default models a host-internal (loopback/bridge) path, which is
 	// all the CloudSkulk attack needs — it runs on one physical machine.
@@ -139,10 +152,12 @@ type Network struct {
 // an intra-host path: high bandwidth, microsecond latency.
 func New(eng *sim.Engine) *Network {
 	return &Network{
-		eng:       eng,
-		endpoints: make(map[string]*endpoint),
-		forwards:  make(map[Addr]Addr),
-		links:     make(map[linkKey]LinkSpec),
+		eng:         eng,
+		endpoints:   make(map[string]*endpoint),
+		forwards:    make(map[Addr]Addr),
+		links:       make(map[linkKey]LinkSpec),
+		attachments: make(map[string]string),
+		flows:       make(map[string]int),
 		DefaultLink: LinkSpec{
 			Bandwidth: 2 << 30, // 2 GiB/s intra-host
 			Latency:   50 * time.Microsecond,
@@ -171,11 +186,44 @@ func (n *Network) AddEndpoint(name string) error {
 // and will fail at send time, exactly like a dangling hostfwd.
 func (n *Network) RemoveEndpoint(name string) {
 	delete(n.endpoints, name)
+	delete(n.attachments, name)
 	for from := range n.forwards {
 		if from.Endpoint == name {
 			delete(n.forwards, from)
 		}
 	}
+}
+
+// Attach records that child's traffic is physically carried by parent
+// (a VM NIC attaches to its host; a nested VM's NIC attaches to the
+// enclosing VM's NIC). Both endpoints must exist.
+func (n *Network) Attach(child, parent string) error {
+	if _, ok := n.endpoints[child]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, child)
+	}
+	if _, ok := n.endpoints[parent]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, parent)
+	}
+	n.attachments[child] = parent
+	return nil
+}
+
+// Detach removes an attachment; the endpoint becomes its own root again.
+func (n *Network) Detach(child string) {
+	delete(n.attachments, child)
+}
+
+// RootOf follows the attachment chain from name to the endpoint that
+// physically carries its traffic (name itself when unattached).
+func (n *Network) RootOf(name string) string {
+	for i := 0; i < n.maxForwardHops; i++ {
+		parent, ok := n.attachments[name]
+		if !ok {
+			return name
+		}
+		name = parent
+	}
+	return name
 }
 
 // HasEndpoint reports whether name is registered.
@@ -253,12 +301,61 @@ func (n *Network) SetLink(a, b string, spec LinkSpec) {
 	n.links[n.key(a, b)] = spec
 }
 
-// Link returns the link spec between a and b (the default if unset).
+// Link returns the link spec between a and b: an explicit pair link if
+// one is set, otherwise the link between the endpoints' attachment roots
+// (the host<->host path their traffic physically crosses), otherwise the
+// default intra-host link.
 func (n *Network) Link(a, b string) LinkSpec {
 	if spec, ok := n.links[n.key(a, b)]; ok {
 		return spec
 	}
+	if ra, rb := n.RootOf(a), n.RootOf(b); ra != a || rb != b {
+		if spec, ok := n.links[n.key(ra, rb)]; ok {
+			return spec
+		}
+	}
 	return n.DefaultLink
+}
+
+// AcquireFlow registers one bulk transfer between a and b on both
+// endpoints' attachment roots and returns a release function. Flow
+// counts let concurrent transfers sharing a physical uplink split its
+// bandwidth — a storm of migrations converging on one host saturates
+// that host's NIC even when every stream comes from a different source.
+// Transfers whose endpoints share a root (intra-host) are never counted:
+// the loopback path is uncontended.
+func (n *Network) AcquireFlow(a, b string) func() {
+	ra, rb := n.RootOf(a), n.RootOf(b)
+	if ra == rb {
+		return func() {}
+	}
+	n.flows[ra]++
+	n.flows[rb]++
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		for _, r := range []string{ra, rb} {
+			if n.flows[r] > 1 {
+				n.flows[r]--
+			} else {
+				delete(n.flows, r)
+			}
+		}
+	}
+}
+
+// Flows reports the number of concurrent bulk transfers a path between
+// a and b must share capacity with: the busier of the two attachment
+// roots' flow counts.
+func (n *Network) Flows(a, b string) int {
+	fa, fb := n.flows[n.RootOf(a)], n.flows[n.RootOf(b)]
+	if fa > fb {
+		return fa
+	}
+	return fb
 }
 
 func (n *Network) key(a, b string) linkKey {
