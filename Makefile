@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench fleet-bench experiments clean
+.PHONY: all build test race vet check cover bench bench-smoke fleet-bench experiments clean
 
 all: check
 
@@ -18,8 +18,17 @@ vet:
 
 check: build vet race
 
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every benchmark in every package: catches benchmarks
+# that no longer compile or panic, without paying for real measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 fleet-bench:
 	$(GO) test -run='^$$' -bench=BenchmarkFleetMigrationStorm -benchmem .

@@ -37,6 +37,7 @@ import (
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 	"cloudskulk/internal/workload"
 )
@@ -168,7 +169,28 @@ var (
 	// WithWorkloadProfile attaches a background guest-activity generator
 	// to the victim (exposed as Cloud.Background).
 	WithWorkloadProfile = experiments.WithWorkloadProfile
+	// WithTelemetry wires a metrics registry through the whole testbed
+	// (host, KSM, vCPUs, network, migration engine).
+	WithTelemetry = experiments.WithTelemetry
 )
+
+// Telemetry: sim-time metrics and structured spans.
+type (
+	// TelemetryRegistry collects counters, gauges, and histograms from
+	// every instrumented layer; exports are deterministic per seed.
+	TelemetryRegistry = telemetry.Registry
+	// MetricSnapshot is one exported metric (stable-sorted by name).
+	MetricSnapshot = telemetry.MetricSnapshot
+	// SpanTracer records span-style traces on a simulation's clock.
+	SpanTracer = telemetry.SpanTracer
+	// Span is one timed operation in a span tree.
+	Span = telemetry.Span
+)
+
+// NewTelemetryRegistry builds an empty metrics registry; pass it to
+// WithTelemetry (testbed), WithFleetTelemetry (fleet), or
+// ExperimentOptions.Telemetry (whole evaluation).
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // The fleet: many hosts on one fabric.
 type (
@@ -207,6 +229,9 @@ var (
 	WithHostLink = fleet.WithHostLink
 	// WithRetry sets the migration retry budget and initial backoff.
 	WithRetry = fleet.WithRetry
+	// WithFleetTelemetry replaces the fleet's private metrics registry
+	// (nil disables instrumentation entirely).
+	WithFleetTelemetry = fleet.WithTelemetry
 )
 
 // NewFleet builds a seeded multi-host fleet: N hosts on a shared fabric

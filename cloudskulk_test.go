@@ -175,3 +175,36 @@ func TestPublicAPIServices(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicTelemetryAPI exercises the telemetry facade: a registry built
+// here flows through a testbed via WithTelemetry and through a fleet via
+// WithFleetTelemetry, and both export paths produce sorted, non-empty
+// output.
+func TestPublicTelemetryAPI(t *testing.T) {
+	reg := cloudskulk.NewTelemetryRegistry()
+	if _, err := cloudskulk.New(1, cloudskulk.WithGuestMemMB(32),
+		cloudskulk.WithTelemetry(reg)); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := cloudskulk.NewFleet(1, cloudskulk.WithHosts(2),
+		cloudskulk.WithFleetTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.StartGuest("h00", "web", 32); err != nil {
+		t.Fatal(err)
+	}
+	text := reg.PromText()
+	for _, want := range []string{"kvm_vms_launched_total", "fleet_placements_total 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in export:\n%s", want, text)
+		}
+	}
+	var b strings.Builder
+	if err := reg.WriteJSONLines(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"type":"counter"`) {
+		t.Fatalf("JSON-lines export empty:\n%s", b.String())
+	}
+}

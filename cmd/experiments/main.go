@@ -49,6 +49,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single artefact (table1, fig2, ..., ablations)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (default GOMAXPROCS)")
 	progress := fs.Bool("progress", true, "print live sweep progress to stderr")
+	telemetryPath := fs.String("telemetry", "", "write accumulated metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +65,9 @@ func run(args []string) error {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	if *telemetryPath != "" {
+		o.Telemetry = cloudskulk.NewTelemetryRegistry()
+	}
 
 	artefacts := []struct {
 		name string
@@ -223,6 +227,20 @@ func run(args []string) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown artefact %q", *only)
+	}
+	if o.Telemetry != nil {
+		f, err := os.Create(*telemetryPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Telemetry.WriteJSONLines(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote metrics to %s\n", *telemetryPath)
 	}
 	return nil
 }

@@ -23,6 +23,10 @@
 //	fleet migrate <guest> <host>   cross-host live migration
 //	fleet guests                   list guests and their placement
 //
+// Every session carries a telemetry registry wired through the whole
+// stack; `stats` snapshots it (Prometheus text format) and `trace` renders
+// completed migrations as span trees. `help` lists everything.
+//
 // Usage:
 //
 //	virtsh [-seed N] [-hosts N] [-f script]
@@ -41,9 +45,44 @@ import (
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/virtman"
 	"cloudskulk/internal/vnet"
 )
+
+// sessionCommands are the shell-level commands layered over virtman's
+// domain commands. The `help` output and the dispatch below both follow
+// this table (TestHelpListsEveryCommand pins the coverage).
+var sessionCommands = []struct{ usage, desc string }{
+	{"stats", "telemetry snapshot (Prometheus text format)"},
+	{"trace", "completed migrations as span trees"},
+	{"hosts", "list hosts, trust tags, free memory (fleet)"},
+	{"link down <host>", "take every fabric link of <host> down (fleet)"},
+	{"link up <host>", "bring them back (fleet)"},
+	{"fleet spawn <host> <guest> <memMB>", "place and boot a guest (fleet)"},
+	{"fleet migrate <guest> <host>", "cross-host live migration (fleet)"},
+	{"fleet guests", "list guests and their placement (fleet)"},
+	{"quit", "end the session (also: exit)"},
+}
+
+// sessionHelp renders virtman's domain commands followed by the
+// session-level ones.
+func sessionHelp() string {
+	var b strings.Builder
+	b.WriteString("Domain commands:\n")
+	b.WriteString(virtman.Help())
+	b.WriteString("\nSession commands:\n")
+	width := 0
+	for _, c := range sessionCommands {
+		if len(c.usage) > width {
+			width = len(c.usage)
+		}
+	}
+	for _, c := range sessionCommands {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, c.usage, c.desc)
+	}
+	return b.String()
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -62,9 +101,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	var (
-		host *kvm.Host
-		fl   *fleet.Fleet
-		err  error
+		host  *kvm.Host
+		fl    *fleet.Fleet
+		reg   *telemetry.Registry
+		spans *telemetry.SpanTracer
+		err   error
 	)
 	if *hosts > 0 {
 		fl, err = fleet.New(*seed, fleet.WithHosts(*hosts))
@@ -74,13 +115,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if host, err = fl.Host(fl.HostNames()[0]); err != nil {
 			return err
 		}
+		reg, spans = fl.Telemetry(), fl.Spans()
 	} else {
 		eng := sim.NewEngine(*seed)
 		network := vnet.New(eng)
 		if host, err = kvm.NewHost(eng, network, "host"); err != nil {
 			return err
 		}
-		host.SetMigrationService(migrate.NewEngine(eng, network))
+		me := migrate.NewEngine(eng, network)
+		host.SetMigrationService(me)
+		reg = telemetry.NewRegistry()
+		spans = telemetry.NewSpanTracer(eng)
+		host.SetTelemetry(reg)
+		network.SetTelemetry(reg)
+		me.SetTelemetry(reg)
+		me.SetSpans(spans)
 	}
 	mgr := virtman.NewManager(host)
 
@@ -104,7 +153,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		out, handled, err := fleetExecute(fl, line)
+		var (
+			out     string
+			handled bool
+			err     error
+		)
+		switch line {
+		case "help":
+			out, handled = sessionHelp(), true
+		case "stats":
+			out, handled = reg.PromText(), true
+			if out == "" {
+				out = "No statistics recorded yet.\n"
+			}
+		case "trace":
+			out, handled = spans.Tree(), true
+			if out == "" {
+				out = "No spans recorded yet.\n"
+			}
+		default:
+			out, handled, err = fleetExecute(fl, line)
+		}
 		if !handled {
 			out, err = virtman.Execute(mgr, line)
 		}

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"cloudskulk/internal/virtman"
 )
 
 func shell(t *testing.T, args []string, script string) string {
@@ -75,5 +77,73 @@ link sideways h01
 `)
 	if got := strings.Count(out, "error: unknown fleet command"); got != 2 {
 		t.Fatalf("want 2 arity errors, got %d:\n%s", got, out)
+	}
+}
+
+// TestHelpListsEveryCommand: the `help` output covers every command the
+// session actually dispatches — all of virtman's domain commands plus the
+// session-level ones — so help cannot drift from the command set.
+func TestHelpListsEveryCommand(t *testing.T) {
+	out := shell(t, nil, "help\n")
+	for _, name := range virtman.Commands() {
+		if !strings.Contains(out, name) {
+			t.Errorf("domain command %q missing from help:\n%s", name, out)
+		}
+	}
+	for _, c := range sessionCommands {
+		if !strings.Contains(out, c.usage) {
+			t.Errorf("session command %q missing from help:\n%s", c.usage, out)
+		}
+	}
+	// And quit/exit, handled before dispatch, are documented too.
+	if !strings.Contains(out, "quit") || !strings.Contains(out, "exit") {
+		t.Errorf("session terminators missing from help:\n%s", out)
+	}
+}
+
+// TestStatsAndTraceCommands: a fleet session exposes the telemetry wired
+// through the stack — `stats` shows migration counters after a migration
+// and `trace` renders it as a span tree; before any migration `trace`
+// explains itself instead of printing nothing.
+func TestStatsAndTraceCommands(t *testing.T) {
+	out := shell(t, []string{"-hosts", "2"}, "trace\n")
+	if !strings.Contains(out, "No spans recorded yet.") {
+		t.Fatalf("idle session should explain empty trace:\n%s", out)
+	}
+
+	out = shell(t, []string{"-hosts", "2"}, `
+fleet spawn h00 web 64
+fleet migrate web h01
+stats
+trace
+`)
+	for _, want := range []string{
+		"# TYPE migrate_completed_total counter",
+		"migrate_completed_total 1",
+		"fleet_migrations_total 1",
+		"migrate",
+		"outcome=completed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in stats/trace output:\n%s", want, out)
+		}
+	}
+	// The span tree nests the stream and downtime phases under migrate.
+	if !strings.Contains(out, "stream") || !strings.Contains(out, "downtime") {
+		t.Errorf("span tree missing migration phases:\n%s", out)
+	}
+}
+
+// TestSingleHostStatsCommand: the one-machine session wires its own
+// registry; domain activity shows up in `stats`.
+func TestSingleHostStatsCommand(t *testing.T) {
+	out := shell(t, nil, `
+define {"name":"web","memory_mb":64,"vcpus":1,"kvm":true}
+start web
+stats
+`)
+	if !strings.Contains(out, "kvm_vms_created_total 1") ||
+		!strings.Contains(out, "kvm_vms_launched_total") {
+		t.Fatalf("stats missing kvm counters:\n%s", out)
 	}
 }

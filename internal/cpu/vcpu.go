@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 )
 
 // VCPU executes modelled operations on a simulation engine, advancing
@@ -20,6 +21,46 @@ type VCPU struct {
 
 	executed map[Class]uint64
 	busy     time.Duration
+
+	tel *vcpuTelemetry
+}
+
+// vcpuTelemetry holds counter handles pre-resolved per class at
+// SetTelemetry time, so Exec pays only a nil check plus atomic adds —
+// no map lookups or string formatting on the hot path. exitFactor and
+// faultFactor pre-bake Model.ExitsAt for this vCPU's level: real exits
+// per profile exit and per nested fault respectively.
+type vcpuTelemetry struct {
+	ops         [ClassIO + 1]*telemetry.Counter // cpu_ops_total{class,level}
+	exits       [ClassIO + 1]*telemetry.Counter // cpu_exits_total{class,level}
+	exitFactor  uint64
+	faultFactor uint64
+}
+
+// SetTelemetry attaches (or with nil detaches) a metrics registry. Every
+// Exec then counts operations and real L0-handled exits by class at this
+// vCPU's level.
+func (v *VCPU) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		v.tel = nil
+		return
+	}
+	t := &vcpuTelemetry{}
+	switch v.level {
+	case L0:
+		// Bare metal: no exits.
+	case L1:
+		t.exitFactor = 1
+	default:
+		t.exitFactor = uint64(1 + v.model.ExitMultiplier)
+		t.faultFactor = 1
+	}
+	lvl := v.level.String()
+	for _, c := range []Class{ClassALU, ClassSyscall, ClassIO} {
+		t.ops[c] = reg.Counter(telemetry.Key("cpu_ops_total", "class", c.String(), "level", lvl))
+		t.exits[c] = reg.Counter(telemetry.Key("cpu_exits_total", "class", c.String(), "level", lvl))
+	}
+	v.tel = t
 }
 
 // NewVCPU returns a vCPU running at the given level under the given model.
@@ -61,6 +102,13 @@ func (v *VCPU) Exec(op Op, n int) time.Duration {
 	v.eng.Advance(elapsed)
 	v.executed[op.Class] += uint64(n)
 	v.busy += elapsed
+	if t := v.tel; t != nil && op.Class >= 0 && int(op.Class) < len(t.ops) {
+		t.ops[op.Class].Add(uint64(n))
+		e := uint64(op.Profile.Exits)*t.exitFactor + uint64(op.Profile.NestedFaults)*t.faultFactor
+		if e > 0 {
+			t.exits[op.Class].Add(e * uint64(n))
+		}
+	}
 	return elapsed
 }
 

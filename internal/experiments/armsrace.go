@@ -93,7 +93,7 @@ func ArmsRaceSyncCountermeasure(o Options) (ArmsRaceResult, error) {
 
 func armsRaceCell(seed int64, o Options, attacker ArmsRaceAttacker, probe ArmsRaceProbe) (ArmsRaceRow, error) {
 	row := ArmsRaceRow{Attacker: attacker, Probe: probe}
-	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB))
+	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
 	if err != nil {
 		return row, err
 	}

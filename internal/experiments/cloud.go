@@ -21,6 +21,7 @@ import (
 	"cloudskulk/internal/qemu"
 	"cloudskulk/internal/runner"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 	"cloudskulk/internal/workload"
 )
@@ -49,6 +50,11 @@ type Options struct {
 	// OnProgress, when non-nil, receives live sweep progress (cells
 	// done/total, rate, ETA) as cells complete.
 	OnProgress func(runner.Progress)
+	// Telemetry, when non-nil, is wired into every testbed an experiment
+	// builds: all clouds and fleets share this one registry. Counters and
+	// histograms are order-independent atomic sums, so exports stay
+	// byte-identical for any Workers value.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions reproduces the paper's configuration.
@@ -124,6 +130,12 @@ type Cloud struct {
 	// here.
 	VendorImage   *mem.File
 	VendorImageAt int
+
+	// Telemetry is the metrics registry wired through the stack when the
+	// cloud was built with WithTelemetry; nil otherwise. Spans is the
+	// matching per-cloud span tracer (migrations render as trees).
+	Telemetry *telemetry.Registry
+	Spans     *telemetry.SpanTracer
 }
 
 // cloudConfig is the option state NewCloud builds from.
@@ -132,6 +144,7 @@ type cloudConfig struct {
 	monitorPort int
 	ksmStarted  bool
 	profile     *workload.Profile
+	tele        *telemetry.Registry
 }
 
 // CloudOption configures NewCloud.
@@ -160,6 +173,14 @@ func WithWorkloadProfile(p workload.Profile) CloudOption {
 	return func(c *cloudConfig) { c.profile = &p }
 }
 
+// WithTelemetry wires the registry into the testbed's host, network,
+// migration engine, and every VM it creates, and attaches a span tracer
+// to the migration engine. A nil registry is a no-op, so callers can pass
+// Options.Telemetry through unconditionally.
+func WithTelemetry(reg *telemetry.Registry) CloudOption {
+	return func(c *cloudConfig) { c.tele = reg }
+}
+
 // NewCloud builds a testbed with a running victim VM named "guest0"
 // (SSH forwarded on 2222, monitor on 5555 unless WithMonitorPort) and an
 // idle co-tenant. The zero-option call reproduces the paper's testbed
@@ -179,6 +200,16 @@ func NewCloud(seed int64, opts ...CloudOption) (*Cloud, error) {
 	}
 	me := migrate.NewEngine(eng, network)
 	host.SetMigrationService(me)
+
+	var spans *telemetry.SpanTracer
+	if cc.tele != nil {
+		// Before CreateVM, so guest0 (and its vCPU) inherits the registry.
+		host.SetTelemetry(cc.tele)
+		network.SetTelemetry(cc.tele)
+		me.SetTelemetry(cc.tele)
+		spans = telemetry.NewSpanTracer(eng)
+		me.SetSpans(spans)
+	}
 
 	cfg := qemu.DefaultConfig("guest0")
 	cfg.MemoryMB = cc.guestMemMB
@@ -213,6 +244,8 @@ func NewCloud(seed int64, opts ...CloudOption) (*Cloud, error) {
 		Victim:        victim,
 		VendorImage:   image,
 		VendorImageAt: imgAt,
+		Telemetry:     cc.tele,
+		Spans:         spans,
 	}
 	if cc.ksmStarted {
 		host.KSM().Start()

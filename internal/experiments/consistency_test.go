@@ -31,7 +31,7 @@ func TestTablesMatchRealNesting(t *testing.T) {
 	// Noise off on both sides for exact comparison.
 	real := workload.VMContext(rk.Victim)
 	real.VCPU.Noise = 0
-	synthetic := levelContext(o.Seed, cpu.L2, o.GuestMemMB)
+	synthetic := levelContext(o, o.Seed, cpu.L2, o.GuestMemMB)
 	synthetic.VCPU.Noise = 0
 
 	ops := append(workload.ArithmeticOps(), workload.ProcessOps()...)

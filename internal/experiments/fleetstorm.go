@@ -163,11 +163,17 @@ func guestsForHosts(hosts int) int {
 }
 
 func stormOnce(o Options, hosts, conc int, frac float64, seed int64) (stormCell, error) {
-	fl, err := fleet.New(seed,
+	flOpts := []fleet.Option{
 		fleet.WithHosts(hosts),
 		fleet.WithHostLink(vnet.LinkSpec{Bandwidth: stormHostLinkBandwidth, Latency: 500 * time.Microsecond}),
 		fleet.WithRetry(3, 2*time.Second),
-	)
+	}
+	if o.Telemetry != nil {
+		// Share the experiment-wide registry instead of the fleet's
+		// private default one.
+		flOpts = append(flOpts, fleet.WithTelemetry(o.Telemetry))
+	}
+	fl, err := fleet.New(seed, flOpts...)
 	if err != nil {
 		return stormCell{}, err
 	}

@@ -76,7 +76,7 @@ func Figure4Migration(o Options) (Figure4Result, error) {
 	outs, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (outcome, error) {
 		cl := cells[i]
 		seed := perRunSeed(o, cellLabel("fig4", cl.prof.Name, string(cl.kind)), cl.run)
-		secs, converged, err := migrateOnce(seed, o.GuestMemMB, cl.prof, cl.kind)
+		secs, converged, err := migrateOnce(seed, o, cl.prof, cl.kind)
 		if err != nil {
 			return outcome{}, fmt.Errorf("fig4 %s/%s run %d: %w", cl.prof.Name, cl.kind, cl.run, err)
 		}
@@ -100,15 +100,16 @@ func Figure4Migration(o Options) (Figure4Result, error) {
 
 // migrateOnce builds a fresh testbed, attaches the background workload to
 // the victim, migrates it, and returns the end-to-end time.
-func migrateOnce(seed int64, memMB int64, prof workload.Profile, kind MigrationKind) (float64, bool, error) {
-	return migrateOnceWith(seed, memMB, prof, kind, nil)
+func migrateOnce(seed int64, o Options, prof workload.Profile, kind MigrationKind) (float64, bool, error) {
+	return migrateOnceWith(seed, o, prof, kind, nil)
 }
 
 // migrateOnceWith additionally lets the caller adjust the migration
 // engine's tunables (capability ablations).
-func migrateOnceWith(seed int64, memMB int64, prof workload.Profile, kind MigrationKind,
+func migrateOnceWith(seed int64, o Options, prof workload.Profile, kind MigrationKind,
 	configure func(*migrate.Engine)) (float64, bool, error) {
-	c, err := NewCloud(seed, WithGuestMemMB(memMB), WithWorkloadProfile(prof))
+	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithWorkloadProfile(prof),
+		WithTelemetry(o.Telemetry))
 	if err != nil {
 		return 0, false, err
 	}
@@ -133,7 +134,7 @@ func migrateOnceWith(seed int64, memMB int64, prof workload.Profile, kind Migrat
 		}
 	case MigrationL0L1:
 		ritmCfg := qemu.DefaultConfig("guestX")
-		ritmCfg.MemoryMB = memMB * 2
+		ritmCfg.MemoryMB = o.GuestMemMB * 2
 		ritmCfg.NetDevs[0].HostFwds = []qemu.FwdRule{{HostPort: 4444, GuestPort: 4444}}
 		if _, err := hv.CreateVM(ritmCfg); err != nil {
 			return 0, false, err
@@ -222,7 +223,7 @@ func AblationDirtyRate(o Options, rates []float64) (AblationDirtyRateResult, err
 			WorkingSetFraction: 0.5,
 			DirtyRateJitter:    0.02,
 		}
-		secs, converged, err := migrateOnce(perRunSeed(o, "ablate-dirty", i), o.GuestMemMB, prof, MigrationL0L0)
+		secs, converged, err := migrateOnce(perRunSeed(o, "ablate-dirty", i), o, prof, MigrationL0L0)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -294,7 +295,7 @@ func AblationMigrationFeatures(o Options) (AblationMigrationFeaturesResult, erro
 	outs, err := runner.Map(len(variants), o.runnerOptions(), func(i int) (outcome, error) {
 		v := variants[i]
 		secs, converged, err := migrateOnceWith(
-			perRunSeed(o, "ablate-feats", i), o.GuestMemMB,
+			perRunSeed(o, "ablate-feats", i), o,
 			workload.KernelCompileProfile(), MigrationL0L1, v.conf)
 		if err != nil {
 			return outcome{}, fmt.Errorf("features %s: %w", v.name, err)
@@ -347,7 +348,7 @@ func AblationPrePostCopy(o Options) (AblationPrePostCopyResult, error) {
 	outs, err := runner.Map(len(modes), o.runnerOptions(), func(i int) (outcome, error) {
 		mode := modes[i]
 		c, err := NewCloud(perRunSeed(o, "ablate-mode", int(mode)),
-			WithGuestMemMB(o.GuestMemMB),
+			WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry),
 			// The victim is busy during the theft: pre-copy pays for that
 			// with downtime at the end, post-copy does not.
 			WithWorkloadProfile(workload.FilebenchProfile()))

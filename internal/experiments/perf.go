@@ -12,14 +12,17 @@ import (
 )
 
 // levelContext builds a measurement context at a virtualization level with
-// the paper-calibrated model and light measurement noise.
-func levelContext(seed int64, level cpu.Level, memMB int64) *workload.Context {
+// the paper-calibrated model and light measurement noise. The vCPU counts
+// into o.Telemetry when one is set (SetTelemetry(nil) is the detached
+// fast path).
+func levelContext(o Options, seed int64, level cpu.Level, memMB int64) *workload.Context {
 	eng := sim.NewEngine(seed)
 	ctx := workload.HostContext(eng, cpu.DefaultModel(), memMB<<20)
 	if level != cpu.L0 {
 		ctx.VCPU = cpu.NewVCPU(eng, cpu.DefaultModel(), level)
 	}
 	ctx.VCPU.Noise = 0.01
+	ctx.VCPU.SetTelemetry(o.Telemetry)
 	return ctx
 }
 
@@ -53,7 +56,7 @@ func Figure2KernelCompile(o Options) (Figure2Result, error) {
 	cells := levelRunCells(o.Runs)
 	secs, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {
 		cl := cells[i]
-		ctx := levelContext(perRunSeed(o, cellLabel("fig2", cl.level.String()), cl.run), cl.level, o.GuestMemMB)
+		ctx := levelContext(o, perRunSeed(o, cellLabel("fig2", cl.level.String()), cl.run), cl.level, o.GuestMemMB)
 		k := workload.DefaultKernelCompile(cl.level == cpu.L0)
 		k.Units = o.CompileUnits
 		d, err := k.Run(ctx)
@@ -113,7 +116,7 @@ func Figure3Netperf(o Options) (Figure3Result, error) {
 	cells := levelRunCells(o.Runs)
 	mbps, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {
 		cl := cells[i]
-		ctx := levelContext(perRunSeed(o, cellLabel("fig3", cl.level.String()), cl.run), cl.level, 64)
+		ctx := levelContext(o, perRunSeed(o, cellLabel("fig3", cl.level.String()), cl.run), cl.level, 64)
 		return workload.DefaultNetperf().Run(ctx, link), nil
 	})
 	if err != nil {
@@ -170,7 +173,7 @@ func Table2Arithmetic(o Options) Table2Result {
 	o = o.withDefaults()
 	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
 		level := cpu.Levels[i]
-		ctx := levelContext(perRunSeed(o, "table2", int(level)), level, 64)
+		ctx := levelContext(o, perRunSeed(o, "table2", int(level)), level, 64)
 		var col lmbenchColumn
 		for _, r := range workload.RunLmbench(ctx, workload.ArithmeticOps(), o.LmbenchReps) {
 			col.names = append(col.names, r.Op.Name)
@@ -215,7 +218,7 @@ func Table3Processes(o Options) Table3Result {
 	o = o.withDefaults()
 	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
 		level := cpu.Levels[i]
-		ctx := levelContext(perRunSeed(o, "table3", int(level)), level, 64)
+		ctx := levelContext(o, perRunSeed(o, "table3", int(level)), level, 64)
 		var col lmbenchColumn
 		for _, r := range workload.RunLmbench(ctx, workload.ProcessOps(), o.LmbenchReps/10+1) {
 			col.names = append(col.names, r.Op.Name)
@@ -261,7 +264,7 @@ func Table4FileOps(o Options) Table4Result {
 	o = o.withDefaults()
 	cols, err := runner.Map(len(cpu.Levels), o.runnerOptions(), func(i int) (lmbenchColumn, error) {
 		level := cpu.Levels[i]
-		ctx := levelContext(perRunSeed(o, "table4", int(level)), level, 64)
+		ctx := levelContext(o, perRunSeed(o, "table4", int(level)), level, 64)
 		var col lmbenchColumn
 		for _, r := range workload.RunFileOps(ctx, o.LmbenchReps/10+1) {
 			col.names = append(col.names, r.FileOp.Op.Name)

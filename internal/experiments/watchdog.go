@@ -25,7 +25,7 @@ type TimeToDetectResult struct {
 func TimeToDetect(o Options, scanPeriod time.Duration) (TimeToDetectResult, error) {
 	o = o.withDefaults()
 	res := TimeToDetectResult{ScanPeriod: scanPeriod}
-	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB))
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
 	if err != nil {
 		return res, err
 	}

@@ -17,6 +17,7 @@ import (
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 )
 
@@ -61,6 +62,8 @@ type config struct {
 	hostLink vnet.LinkSpec
 	retries  int
 	backoff  time.Duration
+	tele     *telemetry.Registry
+	teleSet  bool
 }
 
 // Option configures New.
@@ -99,6 +102,14 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	return func(c *config) { c.retries, c.backoff = attempts, backoff }
 }
 
+// WithTelemetry injects a metrics registry — typically one shared across
+// an experiment sweep's cells, whose counter sums stay deterministic for
+// any worker count. Passing nil disables metrics entirely. Without this
+// option every fleet gets its own private registry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.tele, c.teleSet = reg, true }
+}
+
 // guest is one registry entry. The qemu.VM instances backing a guest
 // change across migrations (and infections), so the record stores only
 // stable facts; Lookup resolves the current instances through the
@@ -126,6 +137,9 @@ type Fleet struct {
 
 	retries int
 	backoff time.Duration
+
+	tele  *telemetry.Registry
+	spans *telemetry.SpanTracer
 }
 
 // New builds a fleet on a fresh seeded engine. Without options it has 4
@@ -151,6 +165,14 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 	eng := sim.NewEngine(seed)
 	network := vnet.New(eng)
 	mig := migrate.NewEngine(eng, network)
+	tele := c.tele
+	if !c.teleSet {
+		tele = telemetry.NewRegistry()
+	}
+	spans := telemetry.NewSpanTracer(eng)
+	network.SetTelemetry(tele)
+	mig.SetTelemetry(tele)
+	mig.SetSpans(spans)
 
 	f := &Fleet{
 		eng:     eng,
@@ -161,6 +183,8 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 		guests:  make(map[string]*guest),
 		retries: c.retries,
 		backoff: c.backoff,
+		tele:    tele,
+		spans:   spans,
 	}
 	for _, spec := range c.hosts {
 		if spec.MemMB <= 0 {
@@ -174,6 +198,7 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 			return nil, err
 		}
 		h.SetMigrationService(mig)
+		h.SetTelemetry(tele)
 		f.hosts[spec.Name] = h
 		f.specs[spec.Name] = spec
 		f.order = append(f.order, spec.Name)
@@ -198,6 +223,14 @@ func (f *Fleet) Network() *vnet.Network { return f.net }
 
 // Migration returns the shared live-migration engine.
 func (f *Fleet) Migration() *migrate.Engine { return f.mig }
+
+// Telemetry returns the fleet's metrics registry (nil when disabled via
+// WithTelemetry(nil)).
+func (f *Fleet) Telemetry() *telemetry.Registry { return f.tele }
+
+// Spans returns the fleet's span tracer; fleet-level operations and the
+// migration engine record their trees here.
+func (f *Fleet) Spans() *telemetry.SpanTracer { return f.spans }
 
 // Host returns a host by name.
 func (f *Fleet) Host(name string) (*kvm.Host, error) {
@@ -293,6 +326,7 @@ func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
 	}
 	f.nextIdx++
 	f.guests[name] = &guest{name: name, host: host, memMB: memMB, servicePort: servicePort}
+	f.tele.Counter("fleet_placements_total").Inc()
 	return vm, nil
 }
 

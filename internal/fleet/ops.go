@@ -7,6 +7,7 @@ import (
 
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 )
 
@@ -59,15 +60,31 @@ func (f *Fleet) migrateWithRetry(vm *qemu.VM, target vnet.Addr) (attempts, retri
 // rewires the service forward chain on the destination, and retires the
 // source instance. On failure the typed error is surfaced and the guest
 // keeps running at the source.
-func (f *Fleet) MigrateVM(guestName, dstName string) (MoveReport, error) {
+func (f *Fleet) MigrateVM(guestName, dstName string) (rep MoveReport, err error) {
 	g, ok := f.guests[guestName]
 	if !ok {
 		return MoveReport{}, fmt.Errorf("%w: %q", ErrUnknownGuest, guestName)
 	}
-	rep := MoveReport{Guest: guestName, From: g.host, To: dstName}
-	dstHost, err := f.Host(dstName)
-	if err != nil {
-		return rep, err
+	rep = MoveReport{Guest: guestName, From: g.host, To: dstName}
+	span := f.spans.Start("fleet.migrate",
+		telemetry.A("guest", guestName),
+		telemetry.A("from", g.host),
+		telemetry.A("to", dstName))
+	defer func() {
+		outcome := "completed"
+		if err != nil {
+			outcome = "failed"
+			f.tele.Counter("fleet_migrations_failed_total").Inc()
+		} else {
+			f.tele.Counter("fleet_migrations_total").Inc()
+		}
+		f.tele.Counter("fleet_migration_retries_total").Add(uint64(rep.Retries))
+		span.Set("outcome", outcome)
+		span.End()
+	}()
+	dstHost, herr := f.Host(dstName)
+	if herr != nil {
+		return rep, herr
 	}
 	if dstName == g.host {
 		return rep, fmt.Errorf("%w: %q on %q", ErrSameHost, guestName, dstName)
@@ -79,6 +96,7 @@ func (f *Fleet) MigrateVM(guestName, dstName string) (MoveReport, error) {
 	if err != nil {
 		return rep, err
 	}
+
 	srcHV := f.hosts[g.host].Hypervisor()
 	dstHV := dstHost.Hypervisor()
 	start := f.eng.Now()
@@ -193,6 +211,9 @@ func (f *Fleet) EvacuateHost(hostName string, pol Policy) ([]MoveReport, error) 
 	if _, ok := f.hosts[hostName]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, hostName)
 	}
+	f.tele.Counter("fleet_evacuations_total").Inc()
+	span := f.spans.Start("fleet.evacuate", telemetry.A("host", hostName))
+	defer span.End()
 	var reports []MoveReport
 	for _, guestName := range f.GuestsOn(hostName) {
 		dst, err := f.PickHost(guestName, pol)

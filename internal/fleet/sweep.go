@@ -7,6 +7,14 @@ import (
 	"cloudskulk/internal/runner"
 )
 
+// recordSweep counts one sweep verdict; a non-clean verdict is a hit.
+func (f *Fleet) recordSweep(v detect.Verdict) {
+	f.tele.Counter("fleet_sweep_guests_total").Inc()
+	if v != detect.VerdictClean {
+		f.tele.Counter("fleet_sweep_hits_total").Inc()
+	}
+}
+
 // agentPageOffset places the detection probe file in guest memory, clear
 // of the kernel image and boot-time content (mirrors the experiments'
 // layout).
@@ -74,6 +82,7 @@ func (f *Fleet) SweepDetect(o SweepOptions) ([]GuestVerdict, error) {
 			if err != nil {
 				return GuestVerdict{}, err
 			}
+			f.recordSweep(verdict)
 			return GuestVerdict{Guest: name, Host: info.Host, Verdict: verdict, Evidence: ev}, nil
 		})
 }

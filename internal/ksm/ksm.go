@@ -14,6 +14,7 @@ import (
 
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 )
 
 // Config mirrors ksmd's sysfs tunables.
@@ -85,6 +86,12 @@ type Daemon struct {
 
 	merges    uint64
 	pagesScan uint64
+
+	telScanned *telemetry.Counter
+	telMerges  *telemetry.Counter
+	telGap     *telemetry.Histogram
+	lastWake   time.Duration
+	hasWake    bool
 }
 
 type candidateRef struct {
@@ -107,6 +114,20 @@ func New(eng *sim.Engine, cfg Config, costs CostModel) *Daemon {
 		stable:    make(map[mem.Content]*mem.SharedGroup),
 		candidate: make(map[mem.Content]candidateRef),
 	}
+}
+
+// SetTelemetry attaches (or with nil detaches) a metrics registry:
+// pages scanned and merges become counters, and the virtual-time gap
+// between scan wakeups feeds the pass-duration histogram (ScanN itself
+// advances no time; the ticker cadence is the observable pass timing).
+func (d *Daemon) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		d.telScanned, d.telMerges, d.telGap = nil, nil, nil
+		return
+	}
+	d.telScanned = reg.Counter("ksm_pages_scanned_total")
+	d.telMerges = reg.Counter("ksm_merges_total")
+	d.telGap = reg.Histogram("ksm_scan_gap_us", telemetry.DurationBuckets)
 }
 
 // Costs returns the daemon's write cost model.
@@ -156,7 +177,13 @@ func (d *Daemon) Start() {
 	if d.ticker != nil && !d.ticker.Stopped() {
 		return
 	}
+	d.hasWake = false
 	d.ticker = sim.NewTicker(d.eng, d.cfg.ScanInterval, "ksmd.scan", func() {
+		now := d.eng.Now()
+		if d.hasWake {
+			d.telGap.Observe((now - d.lastWake).Microseconds())
+		}
+		d.lastWake, d.hasWake = now, true
 		d.ScanN(d.cfg.PagesPerScan)
 	})
 }
@@ -268,6 +295,7 @@ func (d *Daemon) examine(s *mem.Space, page int) bool {
 		d.stable[content] = g
 		delete(d.candidate, content)
 		d.merges++
+		d.telMerges.Inc()
 		return true
 	}
 

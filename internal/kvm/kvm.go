@@ -17,6 +17,7 @@ import (
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/qemu"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 )
 
@@ -66,6 +67,7 @@ type Host struct {
 	Model cpu.Model
 
 	migration MigrationService
+	tel       *telemetry.Registry
 }
 
 // NewHost builds a physical machine with the given name, registering its
@@ -117,6 +119,23 @@ func (h *Host) Hypervisor() *Hypervisor { return h.hv }
 // SetMigrationService wires a live-migration engine into the host; VMs
 // created afterwards get it as their monitor `migrate` backend.
 func (h *Host) SetMigrationService(m MigrationService) { h.migration = m }
+
+// SetTelemetry attaches a metrics registry to the host: the KSM daemon
+// reports scan progress, every VM created afterwards carries the
+// registry (its monitor serves query-stats, its vCPU counts exits), and
+// the model's exit-reflection multiplier is published as a gauge. The
+// gauge is world-constant per model, so sharing one registry across
+// hosts or sweep cells stays deterministic.
+func (h *Host) SetTelemetry(reg *telemetry.Registry) {
+	h.tel = reg
+	h.ksmd.SetTelemetry(reg)
+	if reg != nil {
+		reg.Gauge("kvm_exit_multiplier").Set(int64(h.Model.ExitMultiplier))
+	}
+}
+
+// Telemetry returns the host's registry (nil when unset).
+func (h *Host) Telemetry() *telemetry.Registry { return h.tel }
 
 // OpenMonitor connects to the QEMU monitor a VM exposes on the given host
 // telnet port, searching all virtualization levels — the attacker's
@@ -219,6 +238,11 @@ func (hv *Hypervisor) CreateVM(cfg qemu.Config) (*qemu.VM, error) {
 	}
 	vm := qemu.NewVM(hv.host.eng, cfg, hv.host.Model, hv.GuestLevel(), endpoint)
 	vm.VCPU().Noise = 0.01
+	if hv.host.tel != nil {
+		vm.SetTelemetry(hv.host.tel)
+		vm.VCPU().SetTelemetry(hv.host.tel)
+		hv.host.tel.Counter("kvm_vms_created_total").Inc()
+	}
 
 	// Configured host forwards.
 	for _, nd := range cfg.NetDevs {
@@ -312,6 +336,7 @@ func (hv *Hypervisor) Launch(name string) error {
 	if err := vm.Boot(hv.host.BootTime, hv.host.eng.RNG(), hv.host.ZeroFraction); err != nil {
 		return err
 	}
+	hv.host.tel.Counter(telemetry.Key("kvm_vms_launched_total", "level", hv.GuestLevel().String())).Inc()
 	if hv.insideVM != nil && !hv.SoftwareMMU {
 		rng := hv.host.eng.RNG()
 		ram := hv.insideVM.RAM()
@@ -378,6 +403,7 @@ func (hv *Hypervisor) Kill(name string) error {
 			hv.host.net.Unlisten(addr)
 		}
 	}
+	hv.host.tel.Counter("kvm_vms_killed_total").Inc()
 	hv.host.ksmd.Unregister(vm.RAM())
 	hv.host.net.RemoveEndpoint(vm.Endpoint())
 	if vm.PID() != 0 {
@@ -436,6 +462,7 @@ func (hv *Hypervisor) EnableNesting(name string) (*Hypervisor, error) {
 		fwds:     make(map[string][]vnet.Addr),
 	}
 	hv.nested[name] = inner
+	hv.host.tel.Counter("kvm_nesting_enabled_total").Inc()
 	return inner, nil
 }
 

@@ -8,12 +8,14 @@ package migrate
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/qemu"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 )
 
@@ -138,6 +140,16 @@ type Engine struct {
 	active    map[*qemu.VM]bool
 	cancelled map[*qemu.VM]bool
 	results   []Result
+
+	telStarted   *telemetry.Counter
+	telCompleted *telemetry.Counter
+	telAborted   *telemetry.Counter
+	telCancelled *telemetry.Counter
+	telBytes     *telemetry.Counter
+	telRounds    *telemetry.Histogram
+	telDowntime  *telemetry.Histogram
+	telPages     *telemetry.Histogram
+	spans        *telemetry.SpanTracer
 }
 
 // NewEngine returns a migration engine with default tunables.
@@ -152,6 +164,29 @@ func NewEngine(eng *sim.Engine, network *vnet.Network) *Engine {
 		cancelled: make(map[*qemu.VM]bool),
 	}
 }
+
+// SetTelemetry attaches (or with nil detaches) a metrics registry:
+// outcome counters plus rounds / downtime / transferred-pages histograms.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		e.telStarted, e.telCompleted, e.telAborted, e.telCancelled = nil, nil, nil, nil
+		e.telBytes, e.telRounds, e.telDowntime, e.telPages = nil, nil, nil, nil
+		return
+	}
+	e.telStarted = reg.Counter("migrate_started_total")
+	e.telCompleted = reg.Counter("migrate_completed_total")
+	e.telAborted = reg.Counter("migrate_aborted_total")
+	e.telCancelled = reg.Counter("migrate_cancelled_total")
+	e.telBytes = reg.Counter("migrate_wire_bytes_total")
+	e.telRounds = reg.Histogram("migrate_rounds", telemetry.CountBuckets)
+	e.telDowntime = reg.Histogram("migrate_downtime_us", telemetry.DurationBuckets)
+	e.telPages = reg.Histogram("migrate_pages", telemetry.PageBuckets)
+}
+
+// SetSpans attaches a span tracer; each migration then records a span
+// tree (migrate -> stream -> round-N, downtime). The tracer, like the
+// sim engine, must not be shared across worker goroutines.
+func (e *Engine) SetSpans(st *telemetry.SpanTracer) { e.spans = st }
 
 // CancelMigration flags an in-flight migration of vm for cancellation; the
 // engine aborts it at the next round boundary and resumes the source —
@@ -260,6 +295,11 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 	}
 
 	e.active[vm] = true
+	e.telStarted.Inc()
+	span := e.spans.Start("migrate",
+		telemetry.A("vm", vm.Name()),
+		telemetry.A("dst", dst.Name()),
+		telemetry.A("mode", e.Tunables.Mode.String()))
 	// Hold a flow on the source-host<->destination-host link for the whole
 	// migration so concurrent migrations sharing that link contend.
 	release := e.net.AcquireFlow(e.hostOf[vm], dst.Endpoint())
@@ -281,7 +321,12 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 		status := "failed"
 		if errors.Is(err, ErrCancelled) {
 			status = "cancelled"
+			e.telCancelled.Inc()
+		} else {
+			e.telAborted.Inc()
 		}
+		span.Set("outcome", status)
+		span.End()
 		vm.SetMigrationInfo(qemu.MigrationInfo{Status: status})
 		// An aborted migration hands the guest back: if we paused it
 		// for stop-and-copy or throttling, it resumes.
@@ -295,6 +340,13 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 	res.Source = vm.Name()
 	res.Destination = dst.Name()
 	e.results = append(e.results, res)
+	span.Set("outcome", "completed")
+	span.End()
+	e.telCompleted.Inc()
+	e.telBytes.Add(uint64(res.BytesOnWire))
+	e.telRounds.Observe(int64(res.Iterations))
+	e.telDowntime.Observe(res.Downtime.Microseconds())
+	e.telPages.Observe(res.PagesTransferred)
 	return nil
 }
 
@@ -388,6 +440,7 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 	}
 	throttle := 0.0
 	converged := false
+	stream := e.spans.Start("stream")
 	for res.Iterations < e.Tunables.MaxIterations {
 		if e.cancelled[vm] {
 			return res, fmt.Errorf("%w: %q", ErrCancelled, vm.Name())
@@ -402,6 +455,9 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 			break
 		}
 		res.Iterations++
+		round := e.spans.Start("round",
+			telemetry.A("idx", strconv.Itoa(res.Iterations)),
+			telemetry.A("pages", strconv.Itoa(len(pages))))
 		wire, err := e.transferPages(src, dram, pages, sent)
 		if err != nil {
 			return res, err
@@ -427,6 +483,7 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 			e.eng.RunFor(dur)
 		}
 
+		round.End()
 		vm.SetMigrationInfo(qemu.MigrationInfo{
 			Status:        "active",
 			TransferredMB: float64(res.BytesOnWire) / (1 << 20),
@@ -462,6 +519,8 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 		}
 	}
 
+	stream.End()
+
 	// Stop-and-copy: pause the source, transfer the remaining dirty
 	// pages, hand off.
 	if vm.State() == qemu.StateRunning {
@@ -470,6 +529,7 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 		}
 	}
 	downStart := e.eng.Now()
+	down := e.spans.Start("downtime")
 	bw, err := e.effectiveBandwidth(vm, dst)
 	if err != nil {
 		return res, err
@@ -489,6 +549,7 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 	if err := e.handoff(vm, dst); err != nil {
 		return res, err
 	}
+	down.End()
 	res.Downtime = e.eng.Now() - downStart
 	res.TotalTime = e.eng.Now() - start
 	res.Converged = converged
@@ -511,9 +572,11 @@ func (e *Engine) runPostCopy(vm, dst *qemu.VM) (Result, error) {
 		}
 	}
 	downStart := e.eng.Now()
+	down := e.spans.Start("downtime")
 	if err := e.handoff(vm, dst); err != nil {
 		return res, err
 	}
+	down.End()
 	res.Downtime = e.eng.Now() - downStart
 
 	// Background + demand-paged pull of all of RAM. Demand faults make
@@ -533,7 +596,9 @@ func (e *Engine) runPostCopy(vm, dst *qemu.VM) (Result, error) {
 	res.Iterations = 1
 	res.PagesTransferred = int64(len(pages))
 	res.BytesOnWire = wire
+	pull := e.spans.Start("pull", telemetry.A("pages", strconv.Itoa(len(pages))))
 	e.eng.RunFor(time.Duration(float64(wire) / float64(bw) * float64(time.Second)))
+	pull.End()
 
 	res.TotalTime = e.eng.Now() - start
 	res.Converged = true

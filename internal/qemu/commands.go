@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"cloudskulk/internal/telemetry"
 )
 
 // This file is the single source of truth for monitor command semantics.
@@ -223,6 +225,55 @@ var registry = []*command{
 				"downtime":   mi.Downtime.Milliseconds(),
 				"total-time": mi.TotalTime.Milliseconds(),
 			}
+		},
+	},
+	{
+		hmp: "info stats", qmp: "query-stats",
+		help: "info stats -- show telemetry metrics (counters, gauges, histograms)",
+		run: func(m *Monitor, _ any) (any, error) {
+			// A VM with no registry attached reports no statistics,
+			// mirroring QEMU's behaviour when no stats provider exists.
+			return m.vm.Telemetry().Snapshot(), nil
+		},
+		renderHMP: func(res any) string {
+			snaps := res.([]telemetry.MetricSnapshot)
+			if len(snaps) == 0 {
+				return "No statistics available.\n"
+			}
+			var b strings.Builder
+			for _, s := range snaps {
+				switch s.Type {
+				case "histogram":
+					fmt.Fprintf(&b, "%s: count=%d sum=%d\n", s.Name, s.Count, s.Sum)
+				default:
+					fmt.Fprintf(&b, "%s: %d\n", s.Name, s.Value)
+				}
+			}
+			return b.String()
+		},
+		renderQMP: func(res any) any {
+			snaps := res.([]telemetry.MetricSnapshot)
+			out := make([]any, 0, len(snaps))
+			for _, s := range snaps {
+				entry := map[string]any{"name": s.Name, "type": s.Type}
+				if s.Type == "histogram" {
+					entry["count"] = s.Count
+					entry["sum"] = s.Sum
+					buckets := make([]any, 0, len(s.Buckets))
+					for _, bk := range s.Buckets {
+						le := any(bk.UpperBound)
+						if bk.Inf {
+							le = "+Inf"
+						}
+						buckets = append(buckets, map[string]any{"le": le, "count": bk.Count})
+					}
+					entry["buckets"] = buckets
+				} else {
+					entry["value"] = s.Value
+				}
+				out = append(out, entry)
+			}
+			return out
 		},
 	},
 	{

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/qemu"
 )
@@ -121,5 +122,100 @@ func TestHMPQMPMigrateParity(t *testing.T) {
 	}
 	if hmp.TransferredMB != qmp.TransferredMB {
 		t.Fatalf("final transferred diverges: HMP %+v, QMP %+v", hmp, qmp)
+	}
+}
+
+// TestHMPQMPStatsParity: `info stats` and `query-stats` are two renderings
+// of one semantic handler over the VM's telemetry registry. After real
+// activity (guest exits, KSM scanning, a cross-host migration) both
+// protocols must report the same metric names and values, and the cpu-exit,
+// ksm, and migration families must all be visible through the monitor.
+func TestHMPQMPStatsParity(t *testing.T) {
+	f, err := fleet.New(7, fleet.WithHosts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.StartGuest("h00", "web", 256); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Lookup("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guest activity: I/O-heavy work generates VM exits at L1.
+	info.Inner.VCPU().Exec(cpu.IOOp("disk write", cpu.Micros(12), 1), 500)
+	// Host activity: a KSM scan window.
+	host, err := f.Host("h00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.KSM().Start()
+	f.Engine().RunFor(200 * time.Millisecond)
+	host.KSM().Stop()
+	// Fleet activity: one completed migration.
+	if _, err := f.MigrateVM("web", "h01"); err != nil {
+		t.Fatal(err)
+	}
+	info, err = f.Lookup("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := info.Outer
+
+	// HMP view: "name: value" / "name: count=N sum=S" lines.
+	hmpOut, err := vm.Monitor().Execute("info stats")
+	if err != nil {
+		t.Fatalf("info stats: %v", err)
+	}
+	hmp := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(hmpOut, "\n"), "\n") {
+		name, val, ok := strings.Cut(line, ": ")
+		if !ok {
+			t.Fatalf("unparseable info stats line %q", line)
+		}
+		hmp[name] = val
+	}
+
+	// QMP view.
+	q := vm.QMP()
+	if resp := q.Execute(qemu.QMPCommand{Execute: "qmp_capabilities"}); resp.Error != nil {
+		t.Fatalf("qmp negotiation: %+v", resp.Error)
+	}
+	resp := q.Execute(qemu.QMPCommand{Execute: "query-stats"})
+	if resp.Error != nil {
+		t.Fatalf("query-stats: %+v", resp.Error)
+	}
+	var entries []struct {
+		Name  string `json:"name"`
+		Type  string `json:"type"`
+		Value int64  `json:"value"`
+		Count uint64 `json:"count"`
+		Sum   int64  `json:"sum"`
+	}
+	if err := json.Unmarshal(resp.Return, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(hmp) {
+		t.Fatalf("metric count diverges: HMP %d, QMP %d", len(hmp), len(entries))
+	}
+	for _, e := range entries {
+		want := fmt.Sprintf("%d", e.Value)
+		if e.Type == "histogram" {
+			want = fmt.Sprintf("count=%d sum=%d", e.Count, e.Sum)
+		}
+		if got, ok := hmp[e.Name]; !ok || got != want {
+			t.Errorf("metric %q: HMP %q, QMP %q", e.Name, hmp[e.Name], want)
+		}
+	}
+
+	// The three families the detection story observes must be present.
+	for _, family := range []string{
+		`cpu_exits_total{class="io",level="L1"}`,
+		"ksm_pages_scanned_total",
+		"migrate_completed_total",
+	} {
+		if _, ok := hmp[family]; !ok {
+			t.Errorf("family %q missing from monitor stats:\n%s", family, hmpOut)
+		}
 	}
 }

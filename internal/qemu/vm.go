@@ -8,6 +8,7 @@ import (
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 )
 
 // State is a VM lifecycle state.
@@ -100,6 +101,7 @@ type VM struct {
 	snapshots map[string]*Snapshot
 	bootedAt  time.Duration
 	stoppedAt time.Duration
+	tele      *telemetry.Registry
 }
 
 // NewVM builds a VM in StateCreated. The endpoint names this VM's NIC on
@@ -233,6 +235,13 @@ func (v *VM) BlockStatsFor(i int) (BlockStats, bool) {
 	}
 	return v.blocks[i], true
 }
+
+// SetTelemetry attaches the metrics registry the monitor's query-stats /
+// info stats serve from. The hypervisor wires this at CreateVM time.
+func (v *VM) SetTelemetry(reg *telemetry.Registry) { v.tele = reg }
+
+// Telemetry returns the VM's registry (nil when unset).
+func (v *VM) Telemetry() *telemetry.Registry { return v.tele }
 
 // SetMigrator injects the live-migration engine used by the monitor's
 // `migrate` command.

@@ -115,3 +115,55 @@ func TestFloatFormats(t *testing.T) {
 		t.Fatal("float formats")
 	}
 }
+
+// TestTableRenderGolden pins the renderer's exact byte output: column
+// widths come from the widest cell (header or data), columns are separated
+// by exactly two spaces, and the separator row matches each column's
+// width. Any formatting change must update this golden deliberately,
+// because downstream determinism tests compare rendered artefacts
+// byte-for-byte.
+func TestTableRenderGolden(t *testing.T) {
+	tbl := Table{
+		Title:   "TABLE II",
+		Headers: []string{"Op", "L0", "L2"},
+	}
+	tbl.AddRow("syscall", "0.04", "1.22")
+	tbl.AddRow("fork+exit", "99.00", "3252.00")
+	golden := "" +
+		"TABLE II\n" +
+		"Op         L0     L2     \n" +
+		"---------  -----  -------\n" +
+		"syscall    0.04   1.22   \n" +
+		"fork+exit  99.00  3252.00\n"
+	if got := tbl.Render(); got != golden {
+		t.Fatalf("golden mismatch:\n-- got --\n%q\n-- want --\n%q", got, golden)
+	}
+}
+
+// TestTableAlignmentMultiDigit: when a data cell outgrows its header
+// (multi-digit counters vs a short header), every column still starts at
+// one fixed offset on every line — the widest value wins the width.
+func TestTableAlignmentMultiDigit(t *testing.T) {
+	tbl := Table{Headers: []string{"n", "pages"}}
+	tbl.AddRow("1", "7")
+	tbl.AddRow("10", "4096")
+	tbl.AddRow("100000", "1048576")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column 2 must start at the same offset everywhere: after the
+	// widest first cell ("100000", 6 chars) plus the 2-space gap.
+	wantIdx := len("100000") + 2
+	for i, ln := range lines {
+		if len(ln) < wantIdx {
+			t.Fatalf("line %d shorter than column offset: %q", i, ln)
+		}
+		if i >= 2 {
+			if cell2 := strings.TrimRight(ln[wantIdx:], " "); cell2 != tbl.Rows[i-2][1] {
+				t.Errorf("line %d: second column misaligned, got %q from %q", i, cell2, ln)
+			}
+		}
+	}
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("100000"))) {
+		t.Errorf("separator not sized to widest cell: %q", lines[1])
+	}
+}

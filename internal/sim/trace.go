@@ -53,11 +53,15 @@ func (t *Tracer) Dropped() uint64 { return t.dropped }
 // Len returns the number of retained entries.
 func (t *Tracer) Len() int { return len(t.entries) }
 
-// String renders the trace, one event per line.
+// String renders the trace, one event per line. When the ring has
+// evicted entries, a "(+N dropped)" trailer makes the truncation visible.
 func (t *Tracer) String() string {
 	var b strings.Builder
 	for _, e := range t.Entries() {
 		fmt.Fprintf(&b, "%12s  %s\n", e.At, e.Name)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, "(+%d dropped)\n", t.dropped)
 	}
 	return b.String()
 }

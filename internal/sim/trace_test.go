@@ -57,6 +57,21 @@ func TestTracerRingEviction(t *testing.T) {
 	}
 }
 
+func TestTracerStringDroppedTrailer(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record(time.Millisecond, "a")
+	tr.Record(2*time.Millisecond, "b")
+	if out := tr.String(); strings.Contains(out, "dropped") {
+		t.Fatalf("trailer shown with nothing dropped:\n%s", out)
+	}
+	tr.Record(3*time.Millisecond, "c")
+	tr.Record(4*time.Millisecond, "d")
+	out := tr.String()
+	if !strings.HasSuffix(out, "(+2 dropped)\n") {
+		t.Fatalf("missing dropped trailer:\n%s", out)
+	}
+}
+
 func TestTracerCancelledEventsNotRecorded(t *testing.T) {
 	e := NewEngine(1)
 	tr := NewTracer(0)

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSONLines writes one JSON object per metric, sorted by name, so
+// two registries with equal totals produce byte-identical files. A nil
+// registry writes nothing.
+func (r *Registry) WriteJSONLines(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseName strips the {label="..."} suffix from a metric key, giving the
+// family name used for Prometheus TYPE comments.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// PromText renders a Prometheus-style text snapshot: a # TYPE comment per
+// metric family followed by its series, all in sorted order. Histograms
+// expand into cumulative _bucket series plus _sum and _count. A nil
+// registry renders to "".
+func (r *Registry) PromText() string {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.Snapshot() {
+		family := baseName(m.Name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, m.Type)
+			lastFamily = family
+		}
+		switch m.Type {
+		case "histogram":
+			for _, bk := range m.Buckets {
+				le := "+Inf"
+				if !bk.Inf {
+					le = fmt.Sprintf("%d", bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s %d\n", histogramSeries(m.Name, "_bucket", `le="`+le+`"`), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s %d\n", histogramSeries(m.Name, "_sum", ""), m.Sum)
+			fmt.Fprintf(&b, "%s %d\n", histogramSeries(m.Name, "_count", ""), m.Count)
+		default:
+			fmt.Fprintf(&b, "%s %d\n", m.Name, m.Value)
+		}
+	}
+	return b.String()
+}
+
+// histogramSeries splices a suffix (and optionally an extra label) into a
+// possibly-labelled metric key: ("h{a="b"}", "_bucket", `le="5"`) gives
+// `h_bucket{a="b",le="5"}`.
+func histogramSeries(name, suffix, extraLabel string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = name[i+1 : len(name)-1]
+	}
+	switch {
+	case labels == "" && extraLabel == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extraLabel + "}"
+	case extraLabel == "":
+		return base + suffix + "{" + labels + "}"
+	default:
+		return base + suffix + "{" + labels + "," + extraLabel + "}"
+	}
+}

@@ -7,20 +7,50 @@ import (
 	"cloudskulk/internal/report"
 )
 
+// commandSet is the single source of truth for what Execute understands:
+// the dispatch switch below and the `help` listing both follow it, so the
+// two cannot drift apart (TestHelpListsEveryCommand pins this).
+var commandSet = []struct{ name, usage, desc string }{
+	{"list", "list [--all]", "active (or all) domains"},
+	{"define", "define <json>", "define a domain from inline JSON"},
+	{"undefine", "undefine <name>", "remove an inactive definition"},
+	{"start", "start <name>", "create and boot"},
+	{"destroy", "destroy <name>", "hard stop"},
+	{"reboot", "reboot <name>", "guest reboot"},
+	{"suspend", "suspend <name>", "pause"},
+	{"resume", "resume <name>", "unpause"},
+	{"migrate", "migrate <name> <uri>", "live migrate"},
+	{"dumpjson", "dumpjson <name>", "print the definition"},
+	{"autostart-all", "autostart-all", "start all autostart domains"},
+	{"help", "help", "this listing"},
+}
+
+// Commands returns the name of every command Execute dispatches.
+func Commands() []string {
+	names := make([]string, len(commandSet))
+	for i, c := range commandSet {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Help renders the command listing, one aligned line per command.
+func Help() string {
+	width := 0
+	for _, c := range commandSet {
+		if len(c.usage) > width {
+			width = len(c.usage)
+		}
+	}
+	var b strings.Builder
+	for _, c := range commandSet {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, c.usage, c.desc)
+	}
+	return b.String()
+}
+
 // Execute runs one virsh-style command line against the manager and
-// returns its output. Supported commands:
-//
-//	list [--all]           active (or all) domains
-//	define <json>          define a domain from inline JSON
-//	undefine <name>        remove an inactive definition
-//	start <name>           create and boot
-//	destroy <name>         hard stop
-//	reboot <name>          guest reboot
-//	suspend <name>         pause
-//	resume <name>          unpause
-//	migrate <name> <uri>   live migrate
-//	dumpjson <name>        print the definition
-//	autostart-all          start all autostart domains
+// returns its output; `help` lists the supported commands.
 func Execute(m *Manager, line string) (string, error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -126,6 +156,8 @@ func Execute(m *Manager, line string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("Started: %s\n", strings.Join(started, ", ")), nil
+	case "help":
+		return Help(), nil
 	default:
 		return "", fmt.Errorf("virtman: unknown command %q", cmd)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
 )
 
 // Errors callers match on.
@@ -146,6 +147,12 @@ type Network struct {
 	maxForwardHops int
 	// seqConn numbers stream connections.
 	seqConn uint64
+
+	tel        *telemetry.Registry
+	telSent    map[string]*telemetry.Counter // per-root sent-bytes, cached
+	telDropped *telemetry.Counter
+	telFlows   *telemetry.Counter
+	telContend *telemetry.Counter
 }
 
 // New returns an empty network on the given engine. The default link models
@@ -164,6 +171,35 @@ func New(eng *sim.Engine) *Network {
 		},
 		maxForwardHops: 16,
 	}
+}
+
+// SetTelemetry attaches (or with nil detaches) a metrics registry. Sends
+// count bytes against the sender's attachment root, tap drops are
+// counted, and bulk-flow acquisitions record contention (an acquisition
+// whose path already carries another flow).
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.tel = reg
+	if reg == nil {
+		n.telSent, n.telDropped, n.telFlows, n.telContend = nil, nil, nil, nil
+		return
+	}
+	n.telSent = make(map[string]*telemetry.Counter)
+	n.telDropped = reg.Counter("vnet_dropped_packets_total")
+	n.telFlows = reg.Counter("vnet_flows_total")
+	n.telContend = reg.Counter("vnet_flow_contended_total")
+}
+
+// sentCounter returns the cached per-root sent-bytes counter.
+func (n *Network) sentCounter(root string) *telemetry.Counter {
+	if n.tel == nil {
+		return nil
+	}
+	c, ok := n.telSent[root]
+	if !ok {
+		c = n.tel.Counter(telemetry.Key("vnet_sent_bytes_total", "root", root))
+		n.telSent[root] = c
+	}
+	return c
 }
 
 // Engine returns the simulation engine the network runs on.
@@ -329,6 +365,10 @@ func (n *Network) AcquireFlow(a, b string) func() {
 	if ra == rb {
 		return func() {}
 	}
+	n.telFlows.Inc()
+	if n.flows[ra] > 0 || n.flows[rb] > 0 {
+		n.telContend.Inc()
+	}
 	n.flows[ra]++
 	n.flows[rb]++
 	released := false
@@ -406,6 +446,7 @@ func (n *Network) Send(pkt *Packet) error {
 
 	src.sentPkts++
 	src.sentBytes += uint64(len(pkt.Payload))
+	n.sentCounter(n.RootOf(pkt.From.Endpoint)).Add(uint64(len(pkt.Payload)))
 	pkt.Route = append(pkt.Route, pkt.From.Endpoint)
 	// Forwarding is destination NAT: taps along the path (and the final
 	// listener) see the resolved destination.
@@ -422,12 +463,14 @@ func (n *Network) Send(pkt *Packet) error {
 		pkt.Route = append(pkt.Route, hop)
 		if v := runTaps(ep, pkt); v == VerdictDrop {
 			ep.dropPkts++
+			n.telDropped.Inc()
 			return fmt.Errorf("%w: at %s", ErrDropped, hop)
 		}
 	}
 	pkt.Route = append(pkt.Route, dst.Endpoint)
 	if v := runTaps(dstEP, pkt); v == VerdictDrop {
 		dstEP.dropPkts++
+		n.telDropped.Inc()
 		return fmt.Errorf("%w: at %s", ErrDropped, dst.Endpoint)
 	}
 
