@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-smoke fleet-bench experiments clean
+.PHONY: all build test race vet check cover bench bench-smoke bench-json bench-check fleet-bench experiments clean
+
+# The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
+BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
 
 all: check
 
@@ -32,6 +35,23 @@ bench-smoke:
 
 fleet-bench:
 	$(GO) test -run='^$$' -bench=BenchmarkFleetMigrationStorm -benchmem .
+
+# Headline benchmarks as structured JSON (cmd/benchjson). Pass
+# BASELINE=BENCH_PRn.json to embed before/after rows and speedups.
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH.json
+	@echo wrote BENCH.json
+
+# Re-run the headline benchmarks and fail if any regressed against the
+# committed baseline, using the same parser that produced it. The
+# threshold is wide because wall-clock ns/op at 3 iterations swings
+# ±25% with host load; the gate is meant to catch structural
+# regressions (losing the recorded 1.8-4x wins), not scheduler noise.
+# Use `-threshold 10` by hand on a quiet machine for a tight check.
+bench-check:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -check BENCH_PR4.json -threshold 50
 
 experiments:
 	$(GO) run ./cmd/experiments -scale quick

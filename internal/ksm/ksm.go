@@ -62,9 +62,29 @@ func (c CostModel) WriteCost(res mem.WriteResult) time.Duration {
 	return c.RegularWrite
 }
 
+// Per-page scan flags, ksmd's oldchecksum bookkeeping in miniature.
+const (
+	// flagHasSum marks that sums[page] holds the content seen at the
+	// page's last scan; a first visit is always processed in full.
+	flagHasSum uint8 = 1 << 0
+	// flagSelfCand marks that this page is its own entry in the unstable
+	// tree. While it stays unchanged and unshared, re-examining it is a
+	// provable no-op, so the scan skips the tree lookups entirely.
+	flagSelfCand uint8 = 1 << 1
+	// flagChanged marks that the page's content had changed at its
+	// previous visit; a second consecutive change trips the volatility
+	// gate.
+	flagChanged uint8 = 1 << 2
+)
+
 type region struct {
 	space *mem.Space
 	next  int // scan cursor within the region
+
+	// sums[i] is page i's content at its previous scan visit — the
+	// model's stand-in for ksmd's per-rmap_item checksum.
+	sums  []mem.Content
+	flags []uint8
 }
 
 // Daemon is the samepage-merging scanner.
@@ -84,8 +104,9 @@ type Daemon struct {
 	// merge.
 	candidate map[mem.Content]candidateRef
 
-	merges    uint64
-	pagesScan uint64
+	merges        uint64
+	pagesScan     uint64
+	checksumSkips uint64
 
 	telScanned *telemetry.Counter
 	telMerges  *telemetry.Counter
@@ -145,7 +166,11 @@ func (d *Daemon) Register(s *mem.Space) {
 			return
 		}
 	}
-	d.regions = append(d.regions, &region{space: s})
+	d.regions = append(d.regions, &region{
+		space: s,
+		sums:  make([]mem.Content, s.NumPages()),
+		flags: make([]uint8, s.NumPages()),
+	})
 }
 
 // Unregister removes a space from the scan set (the space's pages keep any
@@ -202,15 +227,52 @@ func (d *Daemon) Running() bool {
 
 // ScanN examines up to n pages, advancing round-robin across regions, and
 // merges what it finds. It returns how many merges happened.
+//
+// The loop is batched region-by-region: instead of re-discovering the
+// cursor position per page, it runs straight through the current region's
+// raw page storage until the region is exhausted or the budget spent. Page
+// visit order — and therefore every merge decision — is identical to the
+// one-page-at-a-time loop it replaced.
 func (d *Daemon) ScanN(n int) int {
 	if len(d.regions) == 0 {
 		return 0
 	}
 	merged := 0
-	for i := 0; i < n; i++ {
-		if d.scanNextPage() {
-			merged++
+	for left := n; left > 0; {
+		r := d.regions[d.cursor]
+		if r.next >= r.space.NumPages() {
+			// Current region exhausted: reset its cursor and take the
+			// next region with pages. A full lap finding nothing means
+			// every region is empty — the old loop burned its remaining
+			// budget discovering that; stopping here is observably the
+			// same (no pages scanned, cursor back where it started).
+			r.next = 0
+			d.cursor = (d.cursor + 1) % len(d.regions)
+			for lap := 1; lap < len(d.regions); lap++ {
+				nr := d.regions[d.cursor]
+				if nr.next < nr.space.NumPages() {
+					break
+				}
+				nr.next = 0
+				d.cursor = (d.cursor + 1) % len(d.regions)
+			}
+			r = d.regions[d.cursor]
+			if r.next >= r.space.NumPages() {
+				return merged
+			}
 		}
+		end := r.next + left
+		if np := r.space.NumPages(); end > np {
+			end = np
+		}
+		for page := r.next; page < end; page++ {
+			if d.examine(r, page) {
+				merged++
+			}
+		}
+		d.pagesScan += uint64(end - r.next)
+		left -= end - r.next
+		r.next = end
 	}
 	return merged
 }
@@ -225,33 +287,47 @@ func (d *Daemon) FullPass() int {
 	return d.ScanN(total)
 }
 
-func (d *Daemon) scanNextPage() bool {
-	// Find the next region with pages, advancing the cursor.
-	for tries := 0; tries < len(d.regions); tries++ {
-		r := d.regions[d.cursor]
-		if r.next >= r.space.NumPages() {
-			r.next = 0
-			d.cursor = (d.cursor + 1) % len(d.regions)
-			continue
+// regionOf finds the region backing a space. Only cold paths (rare merge
+// bookkeeping) use it; the scan loop itself never searches.
+func (d *Daemon) regionOf(s *mem.Space) *region {
+	for _, r := range d.regions {
+		if r.space == s {
+			return r
 		}
-		page := r.next
-		r.next++
-		d.pagesScan++
-		return d.examine(r.space, page)
 	}
-	return false
+	return nil
+}
+
+// clearSelfCand drops a page's self-candidate mark once it stops being the
+// unstable tree's entry for its content (merged, or entry deleted).
+func (d *Daemon) clearSelfCand(s *mem.Space, page int) {
+	if r := d.regionOf(s); r != nil && page < len(r.flags) {
+		r.flags[page] &^= flagSelfCand
+	}
 }
 
 // examine applies the merge rules to one page. Returns true if a merge
 // (attach) happened.
-func (d *Daemon) examine(s *mem.Space, page int) bool {
-	if s.Volatile(page) {
+//
+// Like ksmd, the stable tree is consulted unconditionally, but the
+// unstable tree is checksum-gated: a page whose content changed on two
+// consecutive visits only has its checksum refreshed — it is not inserted
+// as a merge candidate until it holds still for a full scan cycle. A
+// single change (a migration fill, the detector's file push) still
+// inserts immediately, so one-shot writes keep the exact merge timing the
+// ungated scanner had; only sustained churn is kept out of the tree.
+// Pages that are already their own candidate and unchanged skip the tree
+// lookups outright (nothing about their entry can have changed without a
+// merge or a write, both of which clear the mark).
+func (d *Daemon) examine(r *region, page int) bool {
+	s := r.space
+	content, shared, volatile := s.PageInfo(page)
+	if volatile {
 		return false
 	}
-	if _, shared := s.Shared(page); shared {
+	if shared {
 		return false // already merged
 	}
-	content := s.MustRead(page)
 
 	// Stable tree hit: join the existing group.
 	if g, ok := d.stable[content]; ok {
@@ -263,26 +339,58 @@ func (d *Daemon) examine(s *mem.Space, page int) bool {
 			if err := s.AttachShared(page, g); err != nil {
 				return false
 			}
+			r.flags[page] &^= flagSelfCand
 			d.merges++
 			return true
 		}
 	}
 
+	// Checksum gate (ksmd's oldchecksum heuristic): pages churning across
+	// consecutive visits stay out of the unstable tree.
+	switch {
+	case r.flags[page]&flagHasSum == 0:
+		// First visit: record and proceed, so freshly registered regions
+		// (the detector's probe spaces) behave exactly as before.
+		r.sums[page] = content
+		r.flags[page] |= flagHasSum
+	case r.sums[page] != content:
+		r.sums[page] = content
+		r.flags[page] &^= flagSelfCand
+		if r.flags[page]&flagChanged != 0 {
+			// Changed last visit too: sustained churn — skip.
+			d.checksumSkips++
+			return false
+		}
+		r.flags[page] |= flagChanged
+	case r.flags[page]&flagSelfCand != 0:
+		// Unchanged, unshared, and already our own candidate: the entry
+		// cannot have been replaced (replacement requires the holder's
+		// content to have changed) nor consumed (a merge would have
+		// attached this page). Nothing to do.
+		r.flags[page] &^= flagChanged
+		return false
+	default:
+		r.flags[page] &^= flagChanged
+	}
+
 	// Unstable tree: look for a waiting partner.
 	if cand, ok := d.candidate[content]; ok {
 		if cand.space == s && cand.page == page {
+			r.flags[page] |= flagSelfCand
 			return false
 		}
 		// The partner must still hold the same content (it may have
 		// been written since we recorded it).
 		if pc, err := cand.space.Read(cand.page); err != nil || pc != content {
 			d.candidate[content] = candidateRef{space: s, page: page}
+			r.flags[page] |= flagSelfCand
 			return false
 		}
-		if _, shared := cand.space.Shared(cand.page); shared {
+		if _, partnerShared := cand.space.Shared(cand.page); partnerShared {
 			// Partner got merged through another route; retry via
 			// stable tree next scan.
 			delete(d.candidate, content)
+			d.clearSelfCand(cand.space, cand.page)
 			return false
 		}
 		g := &mem.SharedGroup{Content: content}
@@ -294,12 +402,15 @@ func (d *Daemon) examine(s *mem.Space, page int) bool {
 		}
 		d.stable[content] = g
 		delete(d.candidate, content)
+		d.clearSelfCand(cand.space, cand.page)
+		r.flags[page] &^= flagSelfCand
 		d.merges++
 		d.telMerges.Inc()
 		return true
 	}
 
 	d.candidate[content] = candidateRef{space: s, page: page}
+	r.flags[page] |= flagSelfCand
 	return false
 }
 
@@ -308,6 +419,11 @@ func (d *Daemon) Merges() uint64 { return d.merges }
 
 // PagesScanned returns the lifetime count of pages examined.
 func (d *Daemon) PagesScanned() uint64 { return d.pagesScan }
+
+// ChecksumSkips returns how many page visits the volatility gate cut
+// short: pages whose content changed on two consecutive scans and were
+// therefore kept out of the unstable tree for that visit.
+func (d *Daemon) ChecksumSkips() uint64 { return d.checksumSkips }
 
 // SharedGroups returns the number of live (ref > 0) stable groups.
 func (d *Daemon) SharedGroups() int {

@@ -1,0 +1,177 @@
+package ksm
+
+import (
+	"testing"
+
+	"cloudskulk/internal/mem"
+)
+
+// TestFirstVisitNotGated: freshly registered regions (the detection
+// protocol's probe spaces) merge on the usual two-pass schedule — the
+// checksum gate never fires on a page's first visit.
+func TestFirstVisitNotGated(t *testing.T) {
+	_, d := newDaemon(t)
+	a := mem.NewSpace("a", mem.PageSize*2)
+	b := mem.NewSpace("b", mem.PageSize*2)
+	mustWrite(t, a, 0, 0x7777)
+	mustWrite(t, b, 0, 0x7777)
+	d.Register(a)
+	d.Register(b)
+	if got := d.FullPass(); got == 0 {
+		t.Fatal("first pass over fresh regions merged nothing")
+	}
+	if _, shared := a.Shared(0); !shared {
+		t.Fatal("a[0] not merged on the fresh-region schedule")
+	}
+	if d.ChecksumSkips() != 0 {
+		t.Fatalf("checksum gate fired %d times on first visits", d.ChecksumSkips())
+	}
+}
+
+// TestSingleChangeNotGated: a page that changed once since its previous
+// visit still enters the unstable tree on that same visit — one-shot
+// writes (migration fills, the detector's file pushes) merge on the exact
+// schedule the ungated scanner had.
+func TestSingleChangeNotGated(t *testing.T) {
+	_, d := newDaemon(t)
+	a := mem.NewSpace("a", mem.PageSize)
+	b := mem.NewSpace("b", mem.PageSize)
+	mustWrite(t, a, 0, 0x7777)
+	mustWrite(t, b, 0, 0x2)
+	d.Register(a)
+	d.Register(b)
+	d.FullPass() // a[0] becomes the 0x7777 candidate; checksums recorded
+
+	mustWrite(t, b, 0, 0x7777)
+	if merged := d.FullPass(); merged == 0 {
+		t.Fatal("once-changed page did not merge on its next visit")
+	}
+	if _, shared := b.Shared(0); !shared {
+		t.Fatal("b[0] not merged")
+	}
+	if d.ChecksumSkips() != 0 {
+		t.Fatalf("ChecksumSkips = %d, want 0 for a single change", d.ChecksumSkips())
+	}
+}
+
+// TestSustainedChurnGated: pages whose content changed on two consecutive
+// visits are kept out of the unstable tree until they hold still for a
+// full cycle — ksmd's oldchecksum heuristic applied to sustained churn.
+func TestSustainedChurnGated(t *testing.T) {
+	_, d := newDaemon(t)
+	a := mem.NewSpace("a", mem.PageSize)
+	b := mem.NewSpace("b", mem.PageSize)
+	mustWrite(t, a, 0, 0x1)
+	mustWrite(t, b, 0, 0x2)
+	d.Register(a)
+	d.Register(b)
+	d.FullPass() // checksums recorded
+
+	mustWrite(t, a, 0, 0x10)
+	mustWrite(t, b, 0, 0x20)
+	d.FullPass() // first change: strike recorded, still inserted
+
+	// Second consecutive change — both land on the same content, but the
+	// gate holds them out of the tree this visit.
+	mustWrite(t, a, 0, 0xABCD)
+	mustWrite(t, b, 0, 0xABCD)
+	if merged := d.FullPass(); merged != 0 {
+		t.Fatalf("churning pages merged on the gated pass (merged=%d)", merged)
+	}
+	if d.ChecksumSkips() != 2 {
+		t.Fatalf("ChecksumSkips = %d after gated pass, want 2", d.ChecksumSkips())
+	}
+	if merged := d.FullPass(); merged == 0 {
+		t.Fatal("pages that held still for a full cycle did not merge")
+	}
+	if _, shared := a.Shared(0); !shared {
+		t.Fatal("a[0] not merged after settling")
+	}
+}
+
+// TestStableTreeNotGated: joining an existing stable group happens even on
+// the visit right after the page changed — ksmd checks the stable tree
+// before the checksum heuristic.
+func TestStableTreeNotGated(t *testing.T) {
+	_, d := newDaemon(t)
+	a := mem.NewSpace("a", mem.PageSize*2)
+	late := mem.NewSpace("late", mem.PageSize)
+	mustWrite(t, a, 0, 0x5555)
+	mustWrite(t, a, 1, 0x5555)
+	mustWrite(t, late, 0, 0x1)
+	d.Register(a)
+	d.Register(late)
+	d.FullPass()
+	d.FullPass()
+	if _, shared := a.Shared(1); !shared {
+		t.Fatal("setup: stable group not formed")
+	}
+	// late[0] churns (one change already on record) and then takes on the
+	// stable content. The volatility gate would hold it out of the
+	// unstable tree — but the stable lookup happens first, so it attaches
+	// on this very visit.
+	mustWrite(t, late, 0, 0x2)
+	d.FullPass()
+	mustWrite(t, late, 0, 0x5555)
+	d.FullPass()
+	if _, shared := late.Shared(0); !shared {
+		t.Fatal("changed page did not join the stable tree (stable lookup must not be gated)")
+	}
+	if d.ChecksumSkips() != 0 {
+		t.Fatalf("ChecksumSkips = %d; stable-tree attach must pre-empt the gate", d.ChecksumSkips())
+	}
+}
+
+// TestSteadyScanWakeZeroAlloc: a scan wake over settled regions — every
+// page either merged or its own unchanged candidate — allocates nothing.
+func TestSteadyScanWakeZeroAlloc(t *testing.T) {
+	_, d := newDaemon(t)
+	s := mem.NewSpace("g", 256*mem.PageSize)
+	for p := 0; p < 256; p++ {
+		// Half unique pages, half mergeable duplicates.
+		c := mem.Content(0x1000 + p)
+		if p%2 == 0 {
+			c = 0x42
+		}
+		mustWrite(t, s, p, c)
+	}
+	d.Register(s)
+	d.FullPass()
+	d.FullPass() // settle: merges done, candidates recorded
+	allocs := testing.AllocsPerRun(100, func() {
+		d.ScanN(256)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scan wake allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestChurnStreakGatedUntilStill: a page rewritten before every pass trips
+// the gate from its second consecutive change onward; once it holds still
+// for one pass the streak resets and it is re-admitted.
+func TestChurnStreakGatedUntilStill(t *testing.T) {
+	_, d := newDaemon(t)
+	s := mem.NewSpace("g", mem.PageSize)
+	mustWrite(t, s, 0, 0x1)
+	d.Register(s)
+	d.FullPass()
+	for i := 0; i < 5; i++ {
+		mustWrite(t, s, 0, mem.Content(0x100+i))
+		d.FullPass()
+	}
+	// The first change (0x100) inserted on the legacy schedule; the four
+	// after it were consecutive changes and got gated.
+	if d.ChecksumSkips() != 4 {
+		t.Fatalf("ChecksumSkips = %d, want 4", d.ChecksumSkips())
+	}
+	for i := 1; i < 5; i++ {
+		if _, ok := d.candidate[mem.Content(0x100+i)]; ok {
+			t.Fatalf("churned content %#x entered the unstable tree", 0x100+i)
+		}
+	}
+	// One quiet pass resets the streak and admits the settled content.
+	d.FullPass()
+	if _, ok := d.candidate[mem.Content(0x104)]; !ok {
+		t.Fatal("settled page was not re-admitted to the unstable tree")
+	}
+}

@@ -68,11 +68,40 @@ func (b *Bitmap) ClearAll() {
 	b.set = 0
 }
 
-// SetAll sets every bit.
+// SetAll sets every bit, filling whole words at a time.
 func (b *Bitmap) SetAll() {
-	for i := 0; i < b.n; i++ {
-		b.Set(i)
+	if b.n == 0 {
+		return
 	}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := uint(b.n) % 64; tail != 0 {
+		b.words[len(b.words)-1] = (uint64(1) << tail) - 1
+	}
+	b.set = b.n
+}
+
+// NextSetFrom returns the index of the first set bit at or after i, or -1
+// if none remain. It skips all-zero words, so sparse scans cost O(words)
+// rather than O(bits).
+func (b *Bitmap) NextSetFrom(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / 64
+	if w := b.words[wi] >> (uint(i) % 64); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if w := b.words[wi]; w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // ForEach invokes fn for every set bit, in ascending order.
@@ -87,26 +116,42 @@ func (b *Bitmap) ForEach(fn func(i int)) {
 }
 
 // Drain harvests up to max set bits (ascending), clearing them as it goes,
-// and returns their indices. max <= 0 means no limit. This is the
-// "fetch-and-clear the dirty log" primitive pre-copy migration uses.
+// and returns their indices in a fresh slice. max <= 0 means no limit.
+// This is the "fetch-and-clear the dirty log" primitive pre-copy migration
+// uses; hot loops should hold a reusable buffer and call DrainInto instead.
 func (b *Bitmap) Drain(max int) []int {
 	if max <= 0 || max > b.set {
 		max = b.set
 	}
-	out := make([]int, 0, max)
-	for wi := 0; wi < len(b.words) && len(out) < max; wi++ {
+	return b.DrainInto(make([]int, 0, max), max)
+}
+
+// DrainInto appends up to max set bit indices (ascending) to buf, clearing
+// each as it is extracted, and returns the extended buffer. max <= 0 means
+// no limit. All-zero words are skipped in one comparison and cleared bits
+// are folded back a word at a time, so a drain touches each word at most
+// twice and allocates nothing when buf has capacity.
+func (b *Bitmap) DrainInto(buf []int, max int) []int {
+	if max <= 0 || max > b.set {
+		max = b.set
+	}
+	taken := 0
+	for wi := 0; wi < len(b.words) && taken < max; wi++ {
 		w := b.words[wi]
-		for w != 0 && len(out) < max {
-			bit := bits.TrailingZeros64(w)
-			idx := wi*64 + bit
-			out = append(out, idx)
-			w &^= 1 << uint(bit)
+		if w == 0 {
+			continue
 		}
+		base := wi * 64
+		for w != 0 && taken < max {
+			bit := bits.TrailingZeros64(w)
+			buf = append(buf, base+bit)
+			w &^= 1 << uint(bit)
+			taken++
+		}
+		b.words[wi] = w
 	}
-	for _, i := range out {
-		b.Clear(i)
-	}
-	return out
+	b.set -= taken
+	return buf
 }
 
 // Clone returns a deep copy of the bitmap.

@@ -80,12 +80,17 @@ func (s *Space) LoadFile(f *File, at int) error {
 			ErrOutOfRange, f.Name, len(f.Pages), at, s.name, len(s.pages))
 	}
 	for i, c := range f.Pages {
-		pg := &s.pages[at+i]
+		p := at + i
+		pg := &s.pages[p]
 		if pg.shared != nil {
+			s.hash ^= pageSig(p, pg.shared.Content)
 			pg.shared.Refs--
 			pg.shared = nil
+		} else {
+			s.hash ^= pageSig(p, pg.content)
 		}
 		pg.content = c
+		s.hash ^= pageSig(p, c)
 	}
 	return nil
 }

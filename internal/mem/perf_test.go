@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refHash recomputes a space's content hash from scratch; the maintained
+// incremental hash must always agree with it.
+func refHash(s *Space) uint64 {
+	h := uint64(0)
+	for i, c := range s.Snapshot() {
+		h ^= pageSig(i, c)
+	}
+	return h
+}
+
+// TestDrainIntoMatchesDrain: DrainInto with a fresh buffer is observably
+// identical to the allocating Drain for arbitrary bit patterns and limits.
+func TestDrainIntoMatchesDrain(t *testing.T) {
+	prop := func(seedBits []uint16, max8 uint8) bool {
+		a := NewBitmap(300)
+		b := NewBitmap(300)
+		for _, s := range seedBits {
+			a.Set(int(s) % 300)
+			b.Set(int(s) % 300)
+		}
+		max := int(max8) % 40
+		got := b.DrainInto(nil, max)
+		want := a.Drain(max)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		if a.Count() != b.Count() {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if a.Test(i) != b.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainIntoAppendsAndClears: drained bits come back ascending, get
+// cleared in place, and land after any existing buffer contents.
+func TestDrainIntoAppendsAndClears(t *testing.T) {
+	b := NewBitmap(200)
+	for _, i := range []int{3, 64, 65, 190} {
+		b.Set(i)
+	}
+	buf := make([]int, 0, 8)
+	buf = append(buf, -1)
+	buf = b.DrainInto(buf, 3)
+	want := []int{-1, 3, 64, 65}
+	if len(buf) != len(want) {
+		t.Fatalf("buf = %v, want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("buf = %v, want %v", buf, want)
+		}
+	}
+	if b.Count() != 1 || !b.Test(190) {
+		t.Fatalf("after partial drain: count=%d test(190)=%v", b.Count(), b.Test(190))
+	}
+	buf = b.DrainInto(buf[:0], 0)
+	if len(buf) != 1 || buf[0] != 190 || b.Count() != 0 {
+		t.Fatalf("final drain buf=%v count=%d", buf, b.Count())
+	}
+}
+
+// TestNextSetFrom walks a sparse bitmap across word boundaries.
+func TestNextSetFrom(t *testing.T) {
+	b := NewBitmap(300)
+	for _, i := range []int{0, 63, 64, 200} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 0}, {0, 0}, {1, 63}, {63, 63}, {64, 64}, {65, 200},
+		{200, 200}, {201, -1}, {300, -1}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSetFrom(c.from); got != c.want {
+			t.Errorf("NextSetFrom(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := NewBitmap(128).NextSetFrom(0); got != -1 {
+		t.Errorf("empty NextSetFrom(0) = %d, want -1", got)
+	}
+}
+
+// TestSetAllTailWord: the word-fill SetAll must not set ghost bits past
+// Len — a Drain afterwards yields exactly Len indices.
+func TestSetAllTailWord(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		b := NewBitmap(n)
+		b.SetAll()
+		if b.Count() != n {
+			t.Fatalf("n=%d: Count = %d after SetAll", n, b.Count())
+		}
+		got := b.Drain(0)
+		if len(got) != n {
+			t.Fatalf("n=%d: drained %d bits", n, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("n=%d: drain[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+// TestContentHashTracksMutations: after any interleaving of writes, file
+// loads, resets, fills, and shared attach/detach, the incremental hash
+// equals a from-scratch recompute.
+func TestContentHashTracksMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSpace("g", 64*PageSize)
+	check := func(stage string) {
+		t.Helper()
+		if s.ContentHash() != refHash(s) {
+			t.Fatalf("%s: incremental hash %#x != recomputed %#x", stage, s.ContentHash(), refHash(s))
+		}
+	}
+	check("fresh (must be 0)")
+	if s.ContentHash() != 0 {
+		t.Fatalf("fresh space hash = %#x, want 0", s.ContentHash())
+	}
+
+	s.FillRandom(rng, 0.3)
+	check("fill-random")
+
+	for i := 0; i < 40; i++ {
+		if _, err := s.Write(rng.Intn(64), Content(rng.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("writes")
+
+	f := GenerateFile(rng, "file-a", 10)
+	if err := s.LoadFile(f, 20); err != nil {
+		t.Fatal(err)
+	}
+	check("load-file")
+
+	// KSM-style merge then COW break: attach leaves content (and hash)
+	// alone, the break rewrites through Write.
+	c := s.MustRead(5)
+	g := &SharedGroup{Content: c}
+	if err := s.AttachShared(5, g); err != nil {
+		t.Fatal(err)
+	}
+	check("attach-shared")
+	if _, err := s.Write(5, Content(rng.Uint64())); err != nil {
+		t.Fatal(err)
+	}
+	check("cow-break")
+
+	if err := s.LoadFile(f.Mutated(), 18); err != nil {
+		t.Fatal(err)
+	}
+	check("load-file-v2")
+
+	s.Reset()
+	check("reset")
+	if s.ContentHash() != 0 {
+		t.Fatalf("reset space hash = %#x, want 0", s.ContentHash())
+	}
+}
+
+// TestEqualContentsHashAgreement: EqualContents (now hash-gated) still
+// decides exactly by logical contents.
+func TestEqualContentsHashAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewSpace("a", 32*PageSize)
+	b := NewSpace("b", 32*PageSize)
+	for i := 0; i < 32; i++ {
+		c := Content(rng.Uint64() | 1)
+		if _, err := a.Write(i, c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Write(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !EqualContents(a, b) {
+		t.Fatal("identically-written spaces not equal")
+	}
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("identically-written spaces hash differently")
+	}
+	old := b.MustRead(9)
+	if _, err := b.Write(9, MutateContent(old)); err != nil {
+		t.Fatal(err)
+	}
+	if EqualContents(a, b) {
+		t.Fatal("spaces equal after divergent write")
+	}
+	if _, err := b.Write(9, old); err != nil {
+		t.Fatal(err)
+	}
+	if !EqualContents(a, b) || a.ContentHash() != b.ContentHash() {
+		t.Fatal("write-back did not restore equality (hash not reversible?)")
+	}
+}
+
+// TestPageInfoMatchesAccessors: the batched lookup agrees with the
+// single-field accessors on every page, shared or not.
+func TestPageInfoMatchesAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSpace("g", 16*PageSize)
+	s.FillRandom(rng, 0.25)
+	g := &SharedGroup{Content: s.MustRead(4)}
+	if err := s.AttachShared(4, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkVolatile(7, true); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 16; p++ {
+		c, shared, vol := s.PageInfo(p)
+		if c != s.MustRead(p) {
+			t.Fatalf("page %d: PageInfo content %#x != Read %#x", p, c, s.MustRead(p))
+		}
+		_, wantShared := s.Shared(p)
+		if shared != wantShared || vol != s.Volatile(p) {
+			t.Fatalf("page %d: PageInfo flags (%v,%v), want (%v,%v)",
+				p, shared, vol, wantShared, s.Volatile(p))
+		}
+	}
+	if c, shared, vol := s.PageInfo(99); c != ZeroPage || shared || vol {
+		t.Fatalf("out-of-range PageInfo = (%#x,%v,%v), want zero page", c, shared, vol)
+	}
+}
+
+// TestSpaceWriteZeroAlloc pins that the write fast path (with the hash
+// update) stays allocation-free.
+func TestSpaceWriteZeroAlloc(t *testing.T) {
+	s := NewSpace("g", 64*PageSize)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.Write(i%64, Content(i)|1); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Space.Write allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestDrainDirtyIntoZeroAlloc: the dirty-harvest loop with a reused buffer
+// — migration's per-round shape — allocates nothing.
+func TestDrainDirtyIntoZeroAlloc(t *testing.T) {
+	s := NewSpace("g", 256*PageSize)
+	buf := make([]int, 0, s.NumPages())
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for p := 0; p < 32; p++ {
+			if _, err := s.Write((i+p*7)%256, Content(i+p)|1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i++
+		buf = s.DrainDirtyInto(buf[:0], 0)
+		if len(buf) == 0 {
+			t.Fatal("expected dirty pages")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("dirty-harvest round allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -81,6 +81,14 @@ type Space struct {
 	pages []page
 	dirty *Bitmap
 
+	// hash is an incrementally-maintained XOR of pageSig over every
+	// (index, logical content) pair, with zero pages contributing nothing —
+	// so a fresh or reset space hashes to 0. Every mutation path (Write,
+	// LoadFile, FillRandom, Reset) keeps it current; equal logical contents
+	// therefore imply equal hashes, making hash inequality an O(1)
+	// "definitely different" answer for full-space comparisons.
+	hash uint64
+
 	writes    uint64
 	cowBreaks uint64
 
@@ -149,12 +157,14 @@ func (s *Space) Write(p int, c Content) (WriteResult, error) {
 		// and page copy happen before the store is inspected.
 		res.CowBroken = true
 		res.Changed = pg.shared.Content != c
+		s.hash ^= pageSig(p, pg.shared.Content) ^ pageSig(p, c)
 		pg.shared.Refs--
 		pg.shared = nil
 		pg.content = c
 		s.cowBreaks++
 	} else {
 		res.Changed = pg.content != c
+		s.hash ^= pageSig(p, pg.content) ^ pageSig(p, c)
 		pg.content = c
 	}
 	s.dirty.Set(p)
@@ -239,6 +249,14 @@ func (s *Space) DirtyCount() int { return s.dirty.Count() }
 // means all). This models KVM's KVM_GET_DIRTY_LOG fetch-and-clear.
 func (s *Space) DrainDirty(max int) []int { return s.dirty.Drain(max) }
 
+// DrainDirtyInto is DrainDirty with a caller-owned buffer: harvested page
+// numbers are appended to buf and the extended buffer returned, so a loop
+// that reuses its buffer drains without allocating. This is the primitive
+// migration's pre-copy rounds run on.
+func (s *Space) DrainDirtyInto(buf []int, max int) []int {
+	return s.dirty.DrainInto(buf, max)
+}
+
 // ClearDirty resets the dirty log without reading it.
 func (s *Space) ClearDirty() { s.dirty.ClearAll() }
 
@@ -263,6 +281,7 @@ func (s *Space) Reset() {
 		s.pages[i].content = ZeroPage
 		s.pages[i].volatile = false
 	}
+	s.hash = 0
 	s.dirty.ClearAll()
 }
 
@@ -271,15 +290,18 @@ func (s *Space) Reset() {
 // that are almost surely unique. The dirty log is cleared afterwards so the
 // fill itself doesn't count as guest activity.
 func (s *Space) FillRandom(rng *rand.Rand, zeroFraction float64) {
+	h := uint64(0)
 	for i := range s.pages {
 		if rng.Float64() < zeroFraction {
 			s.pages[i].content = ZeroPage
 		} else {
 			// Avoid drawing the zero value for a "used" page.
 			s.pages[i].content = Content(rng.Uint64() | 1)
+			h ^= pageSig(i, s.pages[i].content)
 		}
 		s.pages[i].shared = nil
 	}
+	s.hash = h
 	s.dirty.ClearAll()
 }
 
@@ -321,9 +343,52 @@ func Fingerprint(s *Space, n int) uint64 {
 	return h
 }
 
+// pageSig is the per-page contribution to a space's content hash: a
+// splitmix64-style mix of (index, logical content). Zero pages contribute
+// nothing, so an untouched space hashes to 0 and sparse updates stay cheap.
+func pageSig(p int, c Content) uint64 {
+	if c == ZeroPage {
+		return 0
+	}
+	x := uint64(p)*0x9E3779B97F4A7C15 + uint64(c)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// ContentHash returns the space's incrementally-maintained content digest.
+// Equal logical contents guarantee equal hashes; differing hashes guarantee
+// differing contents. Hash equality alone does not prove content equality
+// (use EqualContents, which verifies), but it makes "definitely changed"
+// an O(1) question.
+func (s *Space) ContentHash() uint64 { return s.hash }
+
+// PageInfo returns page p's logical content together with its shared and
+// volatile flags in one bounds-checked lookup — the batched read the KSM
+// scan loop runs on instead of three error-path accessors per page.
+// Out-of-range pages read as a zero, unshared, non-volatile page.
+func (s *Space) PageInfo(p int) (c Content, shared, volatile bool) {
+	if p < 0 || p >= len(s.pages) {
+		return ZeroPage, false, false
+	}
+	pg := &s.pages[p]
+	if pg.shared != nil {
+		return pg.shared.Content, true, pg.volatile
+	}
+	return pg.content, false, pg.volatile
+}
+
 // EqualContents reports whether two spaces hold identical logical contents.
+// The maintained content hashes reject unequal spaces in O(1); a hash match
+// falls back to the page-by-page verify, so a (vanishingly unlikely) hash
+// collision can never report false equality.
 func EqualContents(a, b *Space) bool {
 	if a.NumPages() != b.NumPages() {
+		return false
+	}
+	if a.hash != b.hash {
 		return false
 	}
 	for i := 0; i < a.NumPages(); i++ {

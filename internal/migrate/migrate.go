@@ -438,6 +438,11 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 	if e.Tunables.XBZRLE {
 		sent = make(map[int]bool, src.NumPages())
 	}
+	// One harvest buffer for the whole migration: every round (and the
+	// final stop-and-copy) drains into it, so iterating costs no per-round
+	// allocation. Local on purpose — fleet storms nest migrations inside
+	// each other's RunFor, so the buffer cannot live on the Engine.
+	buf := make([]int, 0, src.NumPages())
 	throttle := 0.0
 	converged := false
 	stream := e.spans.Start("stream")
@@ -449,11 +454,12 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		pages := src.DrainDirty(0)
+		pages := src.DrainDirtyInto(buf[:0], 0)
 		if len(pages) == 0 {
 			converged = true
 			break
 		}
+		buf = pages[:0]
 		res.Iterations++
 		round := e.spans.Start("round",
 			telemetry.A("idx", strconv.Itoa(res.Iterations)),
@@ -534,7 +540,7 @@ func (e *Engine) runPreCopy(vm, dst *qemu.VM) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	pages := src.DrainDirty(0)
+	pages := src.DrainDirtyInto(buf[:0], 0)
 	wire, err := e.transferPages(src, dram, pages, sent)
 	if err != nil {
 		return res, err

@@ -21,6 +21,23 @@ type Snapshot struct {
 	TakenAt time.Duration
 	state   State
 	ram     []mem.Content
+	// hash is the RAM's content hash at save time, so a later restore can
+	// decide "nothing changed" in O(1) instead of diffing page contents.
+	hash uint64
+}
+
+// equalRAM reports whether the space's logical contents still match the
+// checkpoint, without allocating a second snapshot to compare against.
+func (s *Snapshot) equalRAM(ram *mem.Space) bool {
+	if ram.NumPages() != len(s.ram) {
+		return false
+	}
+	for p, c := range s.ram {
+		if ram.MustRead(p) != c {
+			return false
+		}
+	}
+	return true
 }
 
 // SaveSnapshot checkpoints a running or paused guest under the given name
@@ -43,6 +60,7 @@ func (v *VM) SaveSnapshot(name string) error {
 		TakenAt: v.eng.Now(),
 		state:   v.state,
 		ram:     v.ram.Snapshot(),
+		hash:    v.ram.ContentHash(),
 	}
 	return nil
 }
@@ -58,9 +76,15 @@ func (v *VM) LoadSnapshot(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSnapshot, name)
 	}
-	for p, c := range snap.ram {
-		if _, err := v.ram.Write(p, c); err != nil {
-			return err
+	// Equality gate: when RAM still matches the checkpoint (O(1) hash
+	// reject for the common "something changed" case, read-only verify on
+	// a hash match) there is nothing to write back, so the restore skips
+	// the page-store loop and its COW breaks entirely.
+	if v.ram.ContentHash() != snap.hash || !snap.equalRAM(v.ram) {
+		for p, c := range snap.ram {
+			if _, err := v.ram.Write(p, c); err != nil {
+				return err
+			}
 		}
 	}
 	v.ram.ClearDirty()

@@ -8,22 +8,31 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
+// compactMinCancelled is the floor below which lazily-cancelled events are
+// never compacted out of the heap; past it, compaction triggers when more
+// than half the queue is dead weight.
+const compactMinCancelled = 64
+
 // Engine is a discrete-event simulator: a virtual clock plus a priority
 // queue of scheduled events. It is not safe for concurrent use; the entire
 // simulation runs single-threaded, which is what makes it deterministic.
+//
+// Fired and cancelled events are recycled through a free list, so the
+// steady-state Schedule/Step cycle allocates nothing.
 type Engine struct {
-	now    time.Duration
-	queue  eventQueue
-	rng    *rand.Rand
-	seq    uint64
-	nsteps uint64
-	tracer *Tracer
+	now        time.Duration
+	queue      []*Event // min-heap ordered by (at, seq)
+	free       []*Event // recycled events awaiting reuse
+	ncancelled int      // cancelled events still sitting in queue
+	rng        *rand.Rand
+	seq        uint64
+	nsteps     uint64
+	tracer     *Tracer
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -70,78 +79,152 @@ func (e *Engine) GaussDuration(mean time.Duration, relStddev float64) time.Durat
 	return time.Duration(e.Gauss(float64(mean), relStddev))
 }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a scheduled callback, owned and recycled by the engine. Callers
+// hold Handles, never bare *Events: the gen counter is what lets a Handle
+// detect that its event already fired and the object now belongs to a
+// different scheduling.
 type Event struct {
 	at        time.Duration
 	seq       uint64
+	gen       uint64
 	name      string
 	fn        func()
-	index     int // heap index; -1 once popped or cancelled
 	cancelled bool
 }
 
-// Name returns the label the event was scheduled with.
-func (ev *Event) Name() string { return ev.name }
+// Handle identifies one scheduling of an event. The zero Handle is valid
+// and refers to nothing; cancelling it is a no-op. A Handle outlives the
+// firing it refers to safely — once the event fires (or is cancelled and
+// reaped) the generation moves on and the Handle goes inert.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// At returns the virtual time the event is scheduled to fire.
-func (ev *Event) At() time.Duration { return ev.at }
+// Name returns the label the handle's event was scheduled with, or "" if
+// the scheduling is no longer pending.
+func (h Handle) Name() string {
+	if h.ev == nil || h.ev.gen != h.gen {
+		return ""
+	}
+	return h.ev.name
+}
+
+// At returns the virtual time the handle's event fires at, or 0 if the
+// scheduling is no longer pending.
+func (h Handle) At() time.Duration {
+	if h.ev == nil || h.ev.gen != h.gen {
+		return 0
+	}
+	return h.ev.at
+}
+
+// alloc takes an event off the free list, or mints one if the pool is dry.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle retires an event to the free list. Bumping gen first severs every
+// outstanding Handle; clearing fn/name drops references the pool must not
+// pin.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	ev.cancelled = false
+	e.free = append(e.free, ev)
+}
 
 // Schedule enqueues fn to run after delay of virtual time. A negative delay
 // is treated as zero (fire as soon as the event loop resumes). Events
 // scheduled for the same instant fire in scheduling order.
-func (e *Engine) Schedule(delay time.Duration, name string, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, name string, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
 	e.seq++
-	ev := &Event{
-		at:   e.now + delay,
-		seq:  e.seq,
-		name: name,
-		fn:   fn,
-	}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	ev.name = name
+	ev.fn = fn
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAt enqueues fn at an absolute virtual time. Times in the past are
 // clamped to now.
-func (e *Engine) ScheduleAt(at time.Duration, name string, fn func()) *Event {
+func (e *Engine) ScheduleAt(at time.Duration, name string, fn func()) Handle {
 	return e.Schedule(at-e.now, name, fn)
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+// Cancel prevents a pending event from firing. The event stays in the heap
+// and is reaped when it reaches the top (or at the next compaction), which
+// keeps Cancel O(1). Cancelling an already-fired, already-cancelled, or
+// zero Handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.cancelled {
 		return
 	}
 	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
+	e.ncancelled++
+	if e.ncancelled >= compactMinCancelled && e.ncancelled*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact filters cancelled events out of the queue and re-heapifies.
+// Heap order is re-derived from the total (at, seq) comparator, so pop
+// order — and therefore the simulation — is unaffected.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.ncancelled = 0
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event fired (false means the queue was empty).
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			return false
-		}
+	for len(e.queue) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.ncancelled--
+			e.recycle(ev)
 			continue
 		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
 		e.nsteps++
+		// Recycle before invoking: the callback may schedule again and is
+		// handed this very object back under a fresh generation, while any
+		// stale Handle to the firing just went inert.
+		name, fn := ev.name, ev.fn
+		e.recycle(ev)
 		if e.tracer != nil {
-			e.tracer.Record(e.now, ev.name)
+			e.tracer.Record(e.now, name)
 		}
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -156,10 +239,12 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
 // Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t time.Duration) {
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.cancelled {
-			heap.Pop(&e.queue)
+			e.pop()
+			e.ncancelled--
+			e.recycle(next)
 			continue
 		}
 		if next.at > t {
@@ -189,52 +274,70 @@ func (e *Engine) Advance(d time.Duration) {
 	e.now += d
 }
 
-// Pending returns the number of events currently queued.
+// Pending returns the number of events currently queued and not cancelled.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
+	return len(e.queue) - e.ncancelled
+}
+
+// less is the queue's strict total order: by firing time, ties broken by
+// scheduling sequence, which is unique.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return n
+	return a.seq < b.seq
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
+func (e *Engine) push(ev *Event) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
 
-var _ heap.Interface = (*eventQueue)(nil)
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e *Engine) pop() *Event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic("sim: push of non-event")
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(q[r], q[l]) {
+			m = r
+		}
+		if !less(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = ev
 }

@@ -93,7 +93,7 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 	// Double-cancel and cancel-after-run must not panic.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {

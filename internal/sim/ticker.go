@@ -10,7 +10,8 @@ type Ticker struct {
 	period  time.Duration
 	name    string
 	fn      func()
-	next    *Event
+	fire    func()
+	next    Handle
 	stopped bool
 }
 
@@ -27,12 +28,9 @@ func NewTicker(e *Engine, period time.Duration, name string, fn func()) *Ticker 
 		name:   name,
 		fn:     fn,
 	}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.next = t.engine.Schedule(t.period, t.name, func() {
+	// One closure for the ticker's whole lifetime; re-arming just re-enqueues
+	// it, so a running ticker adds no per-period garbage.
+	t.fire = func() {
 		if t.stopped {
 			return
 		}
@@ -40,7 +38,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.engine.Schedule(t.period, t.name, t.fire)
 }
 
 // Stop cancels future firings. Stopping twice is a no-op.
