@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-smoke bench-json bench-check fleet-bench experiments clean
+.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check fleet-bench experiments clean
 
 # The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
 BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
@@ -19,11 +19,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet race
+# Determinism lint: the five detlint rules over the whole module.
+# Exits non-zero on any unjustified wall-clock read, global rand use,
+# map-order leak, stray goroutine, or float-over-map accumulation.
+lint:
+	$(GO) run ./cmd/detlint ./...
+
+check: build vet lint race
 
 cover:
-	$(GO) test -coverprofile=coverage.out ./...
-	$(GO) tool cover -func=coverage.out | tail -1
+	@mkdir -p .build
+	$(GO) test -coverprofile=.build/coverage.out ./...
+	$(GO) tool cover -func=.build/coverage.out | tail -1
+
+# Short fuzz pass over every fuzz target; a crasher fails the build.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzMonitorDispatch$$' -fuzztime=$(FUZZTIME) ./internal/qemu
+	$(GO) test -run='^$$' -fuzz='^FuzzBenchJSONParse$$' -fuzztime=$(FUZZTIME) ./cmd/benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -55,3 +68,6 @@ bench-check:
 
 experiments:
 	$(GO) run ./cmd/experiments -scale quick
+
+clean:
+	rm -rf .build BENCH.json

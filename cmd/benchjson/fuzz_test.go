@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzBenchJSONParse feeds arbitrary bytes to the bench-output parser.
+// benchjson sits in CI between `go test -bench` and the regression
+// gate, so garbage input (a crashed bench run, interleaved test chatter)
+// must come back as a clean report or error — never a panic — and
+// whatever parses must survive the downstream compare/check/marshal
+// paths.
+func FuzzBenchJSONParse(f *testing.F) {
+	f.Add([]byte(sampleBench))
+	f.Add([]byte("BenchmarkX-8 3 100 ns/op 5 B/op 1 allocs/op\n"))
+	f.Add([]byte("BenchmarkFleetMigrationStorm-8 3 9304055008 ns/op 1.000 coverage 328280840 B/op\n"))
+	f.Add([]byte("BenchmarkTrailingValue 1 42\n"))
+	f.Add([]byte("BenchmarkNaN 1 NaN ns/op\n"))
+	f.Add([]byte("Benchmark -1 1 ns/op\ngoos: linux\npkg:\ncpu:   \n"))
+	f.Add([]byte("BenchmarkHuge 9223372036854775807 1e308 ns/op\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := parse(bytes.NewReader(data))
+		if err != nil {
+			// Scanner-level failures (oversized lines) are legal; a nil
+			// report alongside them is the contract.
+			if rep != nil {
+				t.Fatalf("parse returned both a report and error %v", err)
+			}
+			return
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("parsed report does not marshal: %v", err)
+		}
+		var back Report
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("marshalled report does not round-trip: %v", err)
+		}
+		// Downstream consumers must take any parsed report unflinching.
+		_ = compare(rep.Benchmarks, rep.Benchmarks)
+		_ = check(rep, rep.Benchmarks, 10)
+		for _, b := range rep.Benchmarks {
+			if b.Name == "" {
+				t.Fatalf("parser admitted a nameless benchmark: %+v", b)
+			}
+		}
+	})
+}

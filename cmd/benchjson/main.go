@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -112,10 +113,12 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: name, Iterations: iters}
-	// The rest is (value, unit) pairs.
+	// The rest is (value, unit) pairs. ParseFloat accepts NaN and ±Inf,
+	// which no real bench run emits and json.Marshal refuses; reject the
+	// line rather than producing an unencodable report.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return Benchmark{}, false
 		}
 		switch unit := fields[i+1]; unit {

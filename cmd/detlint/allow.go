@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces an escape-hatch directive:
+//
+//	//detlint:allow <rule>[,<rule>] — <one-line justification>
+//
+// placed on, or on the line immediately above, the violating line. The
+// justification is mandatory: an exemption whose reason is not written
+// down decays into a mystery the next reader cannot audit. The em dash
+// separator may also be spelled "--" or "-".
+const allowPrefix = "//detlint:allow"
+
+// allowDirective is one parsed escape hatch.
+type allowDirective struct {
+	Rules []string
+	Pos   token.Position
+	Used  bool
+}
+
+// collectDirectives parses every allow directive in the package's
+// files. Malformed directives (no justification, unknown rule) come
+// back as findings — a broken escape hatch must fail loudly, not
+// silently stop suppressing.
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]*allowDirective, []Finding) {
+	var out []*allowDirective
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d, err := parseDirective(c.Text)
+				if err != nil {
+					bad = append(bad, Finding{Pos: pos, Rule: "detlint", Msg: err.Error()})
+					continue
+				}
+				d.Pos = pos
+				out = append(out, d)
+			}
+		}
+	}
+	return out, bad
+}
+
+// parseDirective validates one directive's rule list and justification.
+func parseDirective(text string) (*allowDirective, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("allow directive names no rule: want %s <rule> — <justification>", allowPrefix)
+	}
+	rules := strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if analyzerByName(r) == nil {
+			return nil, fmt.Errorf("allow directive names unknown rule %q (have %s)",
+				r, strings.Join(ruleNames(), ", "))
+		}
+	}
+	just := strings.Join(fields[1:], " ")
+	just = strings.TrimSpace(strings.TrimLeft(just, "—–- "))
+	if just == "" {
+		return nil, fmt.Errorf("allow directive for %q has no justification: want %s %s — <why this is sound>",
+			fields[0], allowPrefix, fields[0])
+	}
+	return &allowDirective{Rules: rules}, nil
+}
+
+// matchDirective finds a directive covering the finding: same file,
+// same line or the line above, rule listed.
+func matchDirective(directives []*allowDirective, f Finding) *allowDirective {
+	for _, d := range directives {
+		if d.Pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != f.Pos.Line && d.Pos.Line != f.Pos.Line-1 {
+			continue
+		}
+		for _, r := range d.Rules {
+			if r == f.Rule {
+				return d
+			}
+		}
+	}
+	return nil
+}

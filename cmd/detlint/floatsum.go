@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatsumAnalyzer forbids accumulating floats across map iteration in
+// the export packages (telemetry, report). Float addition is not
+// associative: summing the same values in two different map orders can
+// differ in the last ulp, and an export path turns that ulp into a
+// byte difference between artefacts that golden tests then chase for a
+// day. Accumulate integers (the telemetry histogram contract) or
+// iterate sorted keys.
+var floatsumAnalyzer = &Analyzer{
+	Name: "floatsum",
+	Doc:  "forbid float accumulation across map iteration in export packages",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(p.typeOf(rng.X)) {
+					return true
+				}
+				inspectShallow(rng.Body, func(n ast.Node) bool {
+					as, ok := n.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					if acc := p.floatAccumulation(as); acc != "" {
+						p.report(as.Pos(), "floatsum",
+							"float accumulation of "+acc+" across map iteration is order-sensitive; sum integers or sort keys first")
+					}
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// floatAccumulation reports the accumulated variable's name when the
+// assignment grows a float across iterations: x += v, x -= v, x *= v,
+// or x = x + v (any arithmetic with x on both sides).
+func (p *Pass) floatAccumulation(as *ast.AssignStmt) string {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || !isFloatType(p.typeOf(lhs)) {
+		return ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs.Name
+	case token.ASSIGN:
+		target := p.objectOf(lhs)
+		if target == nil {
+			return ""
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return ""
+		}
+		found := false
+		ast.Inspect(bin, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.objectOf(id) == target {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return lhs.Name
+		}
+	}
+	return ""
+}

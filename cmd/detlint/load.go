@@ -1,0 +1,205 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under lint.
+type Package struct {
+	ImportPath string
+	Rel        string // module-relative dir ("" for the module root)
+	Dir        string
+	Files      []*ast.File
+	Info       *types.Info
+}
+
+// Module is the loaded lint target: every package of one Go module,
+// parsed and type-checked against a shared FileSet.
+type Module struct {
+	Name string
+	Root string
+	Fset *token.FileSet
+	Pkgs []*Package
+	Errs []error
+}
+
+// loadModule locates the module enclosing start, parses every package
+// under its root (skipping testdata/vendor/hidden dirs), and
+// type-checks them with the stdlib source importer, so analyzers get
+// full types.Info without any dependency outside the standard library.
+func loadModule(start string, includeTests bool) (*Module, error) {
+	root, name, err := findModule(start)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer type-checks dependencies (stdlib and intra-
+	// module alike) from source. Disabling cgo selects the pure-Go
+	// variants of stdlib packages like net, which is all the type
+	// information the analyzers need.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+
+	mod := &Module{Name: name, Root: root, Fset: fset}
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		groups, err := parseDir(fset, dir, includeTests)
+		if err != nil {
+			mod.Errs = append(mod.Errs, err)
+			continue
+		}
+		for _, g := range groups {
+			info := &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			importPath := name
+			if rel != "" {
+				importPath = name + "/" + rel
+			}
+			conf := types.Config{
+				Importer: importerFrom{imp, dir},
+				Error:    func(error) {}, // collect via the returned error below
+			}
+			if _, err := conf.Check(importPath, fset, g, info); err != nil {
+				mod.Errs = append(mod.Errs, fmt.Errorf("%s: %w", importPath, err))
+				continue
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				ImportPath: importPath,
+				Rel:        rel,
+				Dir:        dir,
+				Files:      g,
+				Info:       info,
+			})
+		}
+	}
+	return mod, nil
+}
+
+// importerFrom pins the srcDir used for import resolution to the
+// importing package's directory, so module-path imports resolve no
+// matter where detlint is invoked from.
+type importerFrom struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (i importerFrom) Import(path string) (*types.Package, error) {
+	return i.imp.ImportFrom(path, i.dir, 0)
+}
+
+// findModule walks up from start to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(start string) (root, name string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if after, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(after), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}
+
+// packageDirs returns every directory under root that holds .go files,
+// skipping testdata, vendor, and hidden/underscore directories — the
+// same exclusions the go tool applies.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := filepath.Base(path)
+			if path != root && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses one directory's files and groups them by package
+// clause, so an external foo_test package type-checks separately from
+// foo. Groups come back in deterministic (package name) order.
+func parseDir(fset *token.FileSet, dir string, includeTests bool) ([][]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string][]*ast.File{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg := f.Name.Name
+		if _, seen := byName[pkg]; !seen {
+			names = append(names, pkg)
+		}
+		byName[pkg] = append(byName[pkg], f)
+	}
+	sort.Strings(names)
+	var groups [][]*ast.File
+	for _, n := range names {
+		groups = append(groups, byName[n])
+	}
+	return groups, nil
+}

@@ -1,0 +1,229 @@
+// Command detlint is this repository's determinism linter: a static-
+// analysis pass over the whole module that enforces, structurally, the
+// invariant every experiment artefact depends on — simulation code is a
+// pure function of the seed. The golden-hash tests catch a determinism
+// break after the fact; detlint rejects the code shapes that cause one
+// before it is ever run.
+//
+// Five rules (see DESIGN.md §12 for the failure mode behind each):
+//
+//	wallclock  — no time.Now/Since/Sleep/... in sim-facing packages;
+//	             virtual time comes from the engine.
+//	globalrand — no package-level math/rand functions anywhere; only
+//	             seeded *rand.Rand values threaded from the engine.
+//	maporder   — no map iteration that feeds an artefact/export sink
+//	             (fmt.Fprint*, strings.Builder/bytes.Buffer writes, or a
+//	             returned slice) without an intervening sort, and no map
+//	             arguments to fmt formatting verbs.
+//	goroutine  — no go statements, channels, select, or `sync` imports
+//	             outside internal/runner and internal/qemu (the worker
+//	             pool and the monitor connection plumbing). sync/atomic
+//	             is permitted: commutative counters are order-blind.
+//	floatsum   — no float accumulation across map iteration in the
+//	             telemetry/report export packages.
+//
+// A violation that is legitimate is annotated, never silently exempt:
+//
+//	//detlint:allow <rule>[,<rule>] — <one-line justification>
+//
+// on (or immediately above) the offending line. A directive without a
+// justification, with an unknown rule name, or that suppresses nothing
+// is itself an error, so the annotation inventory stays honest.
+//
+// Usage:
+//
+//	detlint [-tests] [-rules wallclock,maporder] [./...]
+//
+// detlint always lints every package of the enclosing module; package
+// patterns are accepted for go-vet familiarity but only select the
+// module via their directory part. Exit status: 0 clean, 1 findings,
+// 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// simFacing lists the packages (module-relative) whose code must never
+// read the host clock: everything that runs inside a simulation, plus
+// internal/runner — the sweep pool all experiments route through, whose
+// one legitimate wall-clock use (progress reporting to a human) carries
+// an allow directive rather than a blanket exemption.
+var simFacing = []string{
+	"internal/sim", "internal/cpu", "internal/kvm", "internal/ksm",
+	"internal/mem", "internal/migrate", "internal/vnet", "internal/qemu",
+	"internal/fleet", "internal/telemetry", "internal/experiments",
+	"internal/detect", "internal/workload", "internal/runner",
+}
+
+// concurrencyExempt lists the only packages allowed to spawn goroutines
+// or use sync/channels: the parallel sweep runner (whose whole job is
+// deterministic fan-out) and qemu's monitor connection plumbing.
+var concurrencyExempt = []string{"internal/runner", "internal/qemu"}
+
+// floatsumScope lists the export-path packages where float accumulation
+// order turns into artefact bytes.
+var floatsumScope = []string{"internal/telemetry", "internal/report"}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleApplies reports whether a rule is in force for the package at the
+// given module-relative path.
+func ruleApplies(rule, rel string) bool {
+	switch rule {
+	case "wallclock":
+		return contains(simFacing, rel)
+	case "goroutine":
+		return !contains(concurrencyExempt, rel)
+	case "floatsum":
+		return contains(floatsumScope, rel)
+	default: // globalrand, maporder: module-wide
+		return true
+	}
+}
+
+func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also lint _test.go files")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	enabled, err := selectRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	allRules := len(enabled) == len(analyzers)
+
+	start := "."
+	if fs.NArg() > 0 {
+		start = strings.TrimSuffix(fs.Arg(0), "...")
+		start = strings.TrimSuffix(start, string(filepath.Separator))
+		if start == "" || start == "."+string(filepath.Separator) {
+			start = "."
+		}
+	}
+	mod, err := loadModule(start, *tests)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	if len(mod.Errs) > 0 {
+		for _, e := range mod.Errs {
+			fmt.Fprintln(stderr, "detlint:", e)
+		}
+		return 2
+	}
+
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		findings = append(findings, lintPackage(mod.Fset, pkg, enabled, allRules)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s) in %d package(s)\n", len(findings), len(mod.Pkgs))
+		return 1
+	}
+	return 0
+}
+
+// selectRules resolves the -rules flag to a set of analyzers.
+func selectRules(spec string) ([]*Analyzer, error) {
+	if spec == "" {
+		return analyzers, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a := analyzerByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(ruleNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// lintPackage runs the enabled analyzers over one package, applies its
+// allow directives, and reports directive hygiene problems. checkUnused
+// is false when only a subset of rules ran — a directive for a disabled
+// rule is not "unused", it just was not exercised.
+func lintPackage(fset *token.FileSet, pkg *Package, enabled []*Analyzer, checkUnused bool) []Finding {
+	var raw []Finding
+	pass := &Pass{
+		Fset:  fset,
+		Files: pkg.Files,
+		Info:  pkg.Info,
+		report: func(pos token.Pos, rule, msg string) {
+			raw = append(raw, Finding{Pos: fset.Position(pos), Rule: rule, Msg: msg})
+		},
+	}
+	for _, a := range enabled {
+		if ruleApplies(a.Name, pkg.Rel) {
+			a.Run(pass)
+		}
+	}
+
+	directives, bad := collectDirectives(fset, pkg.Files)
+	out := bad
+	for _, f := range raw {
+		if d := matchDirective(directives, f); d != nil {
+			d.Used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	if checkUnused {
+		for _, d := range directives {
+			if !d.Used {
+				out = append(out, Finding{
+					Pos:  d.Pos,
+					Rule: "detlint",
+					Msg: fmt.Sprintf("unused //detlint:allow %s — nothing to suppress here",
+						strings.Join(d.Rules, ",")),
+				})
+			}
+		}
+	}
+	return out
+}

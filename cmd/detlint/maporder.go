@@ -1,0 +1,197 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// fmtEmit are the fmt functions that move bytes toward an artefact
+// (a writer or stdout). fmt.Sprint* are pure and judged only by where
+// their result goes.
+var fmtEmit = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmtFormat are all the fmt functions whose default verbs render a map
+// in fmt's own key ordering.
+var fmtFormat = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Errorf": true,
+}
+
+// maporderAnalyzer forbids map iteration order from reaching an
+// artefact. Go randomizes map range order per run on purpose; the
+// moment a range-over-map body emits (fmt.Fprint*/Print*, a
+// strings.Builder or bytes.Buffer write) or collects into a slice that
+// is never sorted, the artefact bytes depend on that randomization and
+// the golden hashes break intermittently — the worst kind of break.
+// The collect-keys-then-sort idiom stays legal: an append inside the
+// range is fine when the slice is sorted later in the same function.
+// Formatting a whole map with fmt (%v and friends) is banned outright:
+// fmt's own key ordering is an implementation detail no artefact may
+// depend on.
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid unsorted map iteration from feeding artefact/export sinks",
+	Run: func(p *Pass) {
+		p.checkMapFormatting()
+		p.eachFunc(p.checkMapRanges)
+	},
+}
+
+// checkMapFormatting flags map-typed arguments to fmt's formatting and
+// printing functions.
+func (p *Pass) checkMapFormatting() {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || p.pkgPathOf(sel.X) != "fmt" || !fmtFormat[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isMapType(p.typeOf(arg)) {
+					p.report(arg.Pos(), "maporder",
+						"fmt."+sel.Sel.Name+" renders a map in fmt's own key order; render sorted keys explicitly")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges analyzes one function body: every range over a map
+// whose body emits directly, or collects into a slice that the rest of
+// the function never sorts, is a violation.
+func (p *Pass) checkMapRanges(body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p.typeOf(rng.X)) {
+			return true
+		}
+		appended := map[types.Object]ast.Node{}
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if p.pkgPathOf(sel.X) == "fmt" && fmtEmit[sel.Sel.Name] {
+						p.report(n.Pos(), "maporder",
+							"map iteration order reaches output through fmt."+sel.Sel.Name+"; iterate sorted keys instead")
+					} else if p.isBufferWrite(sel) {
+						p.report(n.Pos(), "maporder",
+							"map iteration order reaches output through "+sel.Sel.Name+"; iterate sorted keys instead")
+					}
+				}
+			case *ast.AssignStmt:
+				if obj, site := p.appendTarget(n); obj != nil {
+					appended[obj] = site
+				}
+			}
+			return true
+		})
+		for _, obj := range sortedObjects(appended) {
+			if !p.sortedAfter(body, rng, obj) {
+				p.report(appended[obj].Pos(), "maporder",
+					"slice "+obj.Name()+" collects map keys/values but is never sorted in this function; sort it before it escapes")
+			}
+		}
+		return true
+	})
+}
+
+// sortedObjects returns the map's keys ordered by position, so findings
+// come out deterministically (the linter obeys its own rule).
+func sortedObjects(m map[types.Object]ast.Node) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return m[out[i]].Pos() < m[out[j]].Pos() })
+	return out
+}
+
+// isBufferWrite reports whether sel is a Write* method on a
+// strings.Builder or bytes.Buffer — the append-only accumulators every
+// renderer in this repo builds artefacts with.
+func (p *Pass) isBufferWrite(sel *ast.SelectorExpr) bool {
+	name := sel.Sel.Name
+	if name != "Write" && name != "WriteString" && name != "WriteByte" && name != "WriteRune" {
+		return false
+	}
+	t := p.typeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && typ == "Builder") || (pkg == "bytes" && typ == "Buffer")
+}
+
+// appendTarget matches `x = append(x, ...)` (and := / other spellings
+// with an identifier target) and returns x's object.
+func (p *Pass) appendTarget(as *ast.AssignStmt) (types.Object, ast.Node) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	if _, builtin := p.objectOf(fn).(*types.Builtin); !builtin || fn.Name != "append" {
+		return nil, nil
+	}
+	return p.objectOf(lhs), as
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices function
+// somewhere in body after the range statement ends.
+func (p *Pass) sortedAfter(body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := p.pkgPathOf(sel.X); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.objectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

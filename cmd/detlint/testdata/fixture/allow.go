@@ -1,0 +1,19 @@
+package fixture
+
+import "time"
+
+// Directive hygiene: a malformed or useless escape hatch is itself a
+// finding (rule "detlint"), so annotations cannot rot silently.
+
+func allowMissingJustification() time.Time {
+	/* WANT detlint */ //detlint:allow wallclock
+	return time.Now()  // WANT wallclock
+}
+
+func allowUnknownRule() time.Time {
+	/* WANT detlint */ //detlint:allow flibber — no such rule
+	return time.Now()  // WANT wallclock
+}
+
+/* WANT detlint */ //detlint:allow maporder — fixture: nothing on the next line violates maporder, so this is unused
+func allowUnused() {}

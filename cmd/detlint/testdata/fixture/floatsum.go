@@ -1,0 +1,21 @@
+package fixture
+
+func floatsumViolations(m map[string]float64) (float64, float64, int64) {
+	var sum float64
+	prod := 1.0
+	var n int64
+	for _, v := range m {
+		sum += v        // WANT floatsum
+		prod = prod * v // WANT floatsum
+		n += int64(v)   // integer accumulation: exact, legal
+	}
+	return sum, prod, n
+}
+
+func floatsumOverSlice(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs { // slice order is the program's own: legal
+		sum += v
+	}
+	return sum
+}

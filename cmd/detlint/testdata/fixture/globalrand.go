@@ -1,0 +1,22 @@
+package fixture
+
+import "math/rand"
+
+func globalrandViolations() int {
+	rand.Seed(42)                    // WANT globalrand
+	n := rand.Intn(10)               // WANT globalrand
+	f := rand.Float64()              // WANT globalrand
+	rand.Shuffle(3, func(i, j int) { // WANT globalrand
+	})
+	shuffler := rand.Perm // WANT globalrand
+	_ = shuffler
+	_, _ = n, f
+	return n
+}
+
+func globalrandSeeded() int {
+	r := rand.New(rand.NewSource(1)) // constructors: legal
+	var src rand.Source              // type reference: legal
+	_ = src
+	return r.Intn(10) // method on a seeded *rand.Rand: legal
+}

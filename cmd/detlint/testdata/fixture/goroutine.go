@@ -1,0 +1,14 @@
+package fixture
+
+import "sync" // WANT goroutine
+
+func goroutineViolations() {
+	ch := make(chan int, 1) // WANT goroutine
+	go close(ch)            // WANT goroutine
+	ch <- 1                 // WANT goroutine
+	<-ch                    // WANT goroutine
+	var mu sync.Mutex       // usage is not re-flagged; the import is the gateway
+	mu.Lock()
+	mu.Unlock()
+	select {} // WANT goroutine
+}

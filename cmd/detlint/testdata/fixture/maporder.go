@@ -1,0 +1,51 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func maporderEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // WANT maporder
+	}
+}
+
+func maporderBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // WANT maporder
+	}
+	return b.String()
+}
+
+func maporderUnsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // WANT maporder
+	}
+	return keys
+}
+
+func maporderSortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // legal: sorted before escaping
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func maporderFmtMap(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // WANT maporder
+}
+
+func maporderSortedRender(m map[string]int) string {
+	var b strings.Builder
+	for _, k := range maporderSortedCollect(m) { // slice range: legal
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import "time"
+
+// Host-clock reads: each flagged line carries a marker comment naming
+// the rule the test expects to fire there.
+func wallclockViolations() time.Duration {
+	t0 := time.Now()             // WANT wallclock
+	time.Sleep(time.Millisecond) // WANT wallclock
+	d := time.Since(t0)          // WANT wallclock
+	_ = time.After(d)            // WANT wallclock
+	_ = time.Unix(0, 0)          // pure constructor: legal
+	_ = d.String()               // rendering a duration: legal
+	return d
+}
+
+func wallclockAllowed() time.Duration {
+	//detlint:allow wallclock — fixture: a justified directive suppresses the line below
+	t0 := time.Now()
+	//detlint:allow wallclock — fixture: and a same-line directive works too
+	return time.Since(t0)
+}

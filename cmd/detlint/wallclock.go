@@ -1,0 +1,46 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned are the time-package functions that read or wait on
+// the host clock. Pure constructors/formatters (time.Duration,
+// time.Unix, d.String) stay legal: sim code renders virtual durations
+// constantly.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// wallclockAnalyzer forbids host-clock reads in sim-facing packages.
+// Any value they contribute (timestamps, elapsed times, timer firings)
+// differs run to run, so it breaks the seed→artefact function the
+// moment it reaches an artefact — and there is no legitimate reason for
+// sim code to look at the host clock: virtual time lives on the engine.
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep/... in sim-facing packages",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if p.pkgPathOf(sel.X) == "time" && wallclockBanned[sel.Sel.Name] {
+					p.report(sel.Pos(), "wallclock",
+						"time."+sel.Sel.Name+" reads the host clock; sim code must take time from the engine")
+				}
+				return true
+			})
+		}
+	},
+}

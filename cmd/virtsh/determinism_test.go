@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cloudskulk/internal/runner"
+)
+
+// fleetScript is a full fleet session touching every externally visible
+// surface: placement, fabric faults, migration, the Prometheus-style
+// stats export, and the span-tree trace renderer.
+const fleetScript = `
+hosts
+fleet spawn h00 web 64
+fleet spawn h01 db 128
+link down h01
+fleet migrate web h01
+link up h01
+fleet migrate web h01
+fleet guests
+stats
+trace
+`
+
+// sessionOutput runs one complete virtsh fleet session and returns
+// everything it printed.
+func sessionOutput(seed int64) (string, error) {
+	var out strings.Builder
+	args := []string{"-seed", fmt.Sprint(seed), "-hosts", "4"}
+	if err := run(args, strings.NewReader(fleetScript), &out); err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+// TestCrossWorkerDeterminism pins the repo's core invariant at the
+// outermost layer: a session's output is a pure function of its seed.
+// The same four seeded sessions run through runner.Map once on a single
+// worker and once on eight; any scheduling leak — a shared rand, a map
+// iteration reaching the output, wall-clock anywhere in the pipeline —
+// shows up as a byte diff between the two runs.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cell := func(i int) (string, error) {
+				return sessionOutput(seed + 100*int64(i))
+			}
+			serial, err := runner.Map(4, runner.Options{Workers: 1}, cell)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			parallel, err := runner.Map(4, runner.Options{Workers: 8}, cell)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Errorf("cell %d (seed %d): output differs between 1 and 8 workers\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+						i, seed+100*int64(i), serial[i], parallel[i])
+				}
+				// A session that silently printed nothing would pass the
+				// comparison vacuously.
+				if !strings.Contains(serial[i], "migrated web: h00 -> h01") {
+					t.Errorf("cell %d output is missing the migration line:\n%s", i, serial[i])
+				}
+			}
+		})
+	}
+}

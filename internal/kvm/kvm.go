@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"time"
 
 	"cloudskulk/internal/cpu"
@@ -146,6 +147,7 @@ func (h *Host) OpenMonitor(port int) (net.Conn, error) {
 		return nil, fmt.Errorf("%w: %d", ErrNoMonitorPort, port)
 	}
 	client, server := net.Pipe()
+	//detlint:allow goroutine — monitor connection plumbing: Serve blocks on the interactive client's pipe; command dispatch itself stays synchronous per line
 	go func() { _ = vm.Monitor().Serve(server) }()
 	return client, nil
 }
@@ -158,6 +160,7 @@ func (h *Host) OpenQMP(port int) (net.Conn, error) {
 		return nil, fmt.Errorf("%w: %d", ErrNoMonitorPort, port)
 	}
 	client, server := net.Pipe()
+	//detlint:allow goroutine — QMP connection plumbing, same shape as OpenMonitor above
 	go func() { _ = vm.QMP().Serve(server) }()
 	return client, nil
 }
@@ -421,12 +424,15 @@ func (hv *Hypervisor) VM(name string) (*qemu.VM, bool) {
 	return vm, ok
 }
 
-// VMs returns all guests of this hypervisor (unspecified order).
+// VMs returns all guests of this hypervisor, sorted by name so that
+// callers iterating them (detection sweeps, remediation kills) touch
+// guests in the same order every run.
 func (hv *Hypervisor) VMs() []*qemu.VM {
 	out := make([]*qemu.VM, 0, len(hv.vms))
 	for _, vm := range hv.vms {
 		out = append(out, vm)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
 	return out
 }
 

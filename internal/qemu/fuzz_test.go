@@ -1,0 +1,110 @@
+package qemu
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/sim"
+)
+
+// fuzzVM builds a fresh booted VM per input, so state left behind by
+// one command line (a quit, a savevm) never bleeds into the next case.
+func fuzzVM() (*VM, error) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig("guest0")
+	cfg.MemoryMB = 8
+	cfg.NetDevs[0].HostFwds = []FwdRule{{2222, 22}}
+	vm := NewVM(eng, cfg, cpu.DefaultModel(), cpu.L1, "guest0.nic")
+	if err := vm.Boot(time.Second, rand.New(rand.NewSource(1)), 0.3); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// FuzzMonitorDispatch drives arbitrary console input through both
+// protocol front-ends of the unified command registry. The monitor is
+// the attacker-reachable parser surface of this stack (the paper's
+// `telnet 127.0.0.1 5555`), so the contract is strict: HMP may reject a
+// line but must never panic, and QMP must answer every decodable
+// command with well-formed JSON carrying exactly a return or an error.
+func FuzzMonitorDispatch(f *testing.F) {
+	for _, seed := range []string{
+		// HMP spellings from the monitor tests.
+		"info status", "info qtree", "info mtree", "info mem",
+		"info blockstats", "info network", "info name", "info migrate",
+		"info stats", "info snapshots", "help", "stop", "cont",
+		"migrate -d tcp:127.0.0.1:4444", "migrate_set_speed 1g",
+		"migrate_set_capability xbzrle on", "migrate_cancel",
+		"hostfwd_add tcp::8080-:80", "hostfwd_remove tcp::2222-:22",
+		"savevm snap1", "loadvm snap1", "delvm snap1",
+		"system_powerdown", "quit", "q", "info", "",
+		// QMP lines from the qmp tests.
+		`{"execute":"qmp_capabilities"}`,
+		`{"execute":"query-status","id":7}`,
+		`{"execute":"query-blockstats"}`,
+		`{"execute":"query-stats"}`,
+		`{"execute":"migrate","arguments":{"uri":"tcp:127.0.0.1:4444"}}`,
+		`{"execute":"migrate_set_speed","arguments":{"value":1048576}}`,
+		`{"execute":"quit","id":{"nested":[1,2,3]}}`,
+		`{"execute":"migrate","arguments":{"uri":""}}`,
+		// Parser edge shapes.
+		"migrate_set_speed 99999999999999999999g",
+		"info \x00status", "savevm \xff", `{"execute":12}`, "{",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		// Hang detector: a dispatch that loops forever would otherwise
+		// stall the fuzzer silently (hanging inputs are never saved to
+		// the corpus). Crashing with the input in hand makes it
+		// reproducible. Normal inputs finish in well under a millisecond.
+		watchdog := time.AfterFunc(2*time.Second, func() {
+			panic("slow fuzz input: " + strconv.Quote(line))
+		})
+		defer watchdog.Stop()
+		vm, err := fuzzVM()
+		if err != nil {
+			t.Fatalf("building fuzz VM: %v", err)
+		}
+
+		// HMP: any input may error, none may panic.
+		if _, err := vm.Monitor().Execute(line); err != nil && line == "info status" {
+			t.Fatalf("known-good command failed: %v", err)
+		}
+
+		// QMP before negotiation: must reject, not obey.
+		q := vm.QMP()
+		if resp := q.Execute(QMPCommand{Execute: "query-status"}); resp.Error == nil {
+			t.Fatal("command before qmp_capabilities was accepted")
+		}
+		if resp := q.Execute(QMPCommand{Execute: "qmp_capabilities"}); resp.Error != nil {
+			t.Fatalf("negotiation failed: %v", resp.Error)
+		}
+
+		checkQMP := func(resp QMPResponse) {
+			t.Helper()
+			raw, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatalf("QMP response does not marshal: %v", err)
+			}
+			if !json.Valid(raw) {
+				t.Fatalf("QMP response is not valid JSON: %q", raw)
+			}
+			if (resp.Return == nil) == (resp.Error == nil) {
+				t.Fatalf("QMP response must carry exactly one of return/error: %s", raw)
+			}
+		}
+
+		// The raw input as a QMP wire line, when it decodes at all.
+		var cmd QMPCommand
+		if err := json.Unmarshal([]byte(line), &cmd); err == nil {
+			checkQMP(q.Execute(cmd))
+		}
+		// And the raw input as a bare execute name.
+		checkQMP(q.Execute(QMPCommand{Execute: line}))
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	//detlint:allow goroutine — registry creation lock only; all metric updates are commutative atomics, so totals are interleaving-invariant
 	"sync"
 	"sync/atomic"
 )
