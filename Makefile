@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check fleet-bench experiments clean
+.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends fleet-bench experiments clean
 
 # The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
 BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
@@ -56,6 +56,14 @@ bench-json:
 		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH.json
 	@echo wrote BENCH.json
 
+# The Fig. 5/6 detection sweeps on every registered hypervisor backend
+# (one sub-benchmark per backend × figure) as structured JSON: each
+# backend's t0/t1/t2 timing signature lands in BENCH_BACKENDS.json.
+bench-backends:
+	$(GO) test -run='^$$' -bench='^BenchmarkBackendDetection$$' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_BACKENDS.json
+	@echo wrote BENCH_BACKENDS.json
+
 # Re-run the headline benchmarks and fail if any regressed against the
 # committed baseline, using the same parser that produced it. The
 # threshold is wide because wall-clock ns/op at 3 iterations swings
@@ -70,4 +78,4 @@ experiments:
 	$(GO) run ./cmd/experiments -scale quick
 
 clean:
-	rm -rf .build BENCH.json
+	rm -rf .build BENCH.json BENCH_BACKENDS.json

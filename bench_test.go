@@ -185,6 +185,47 @@ func BenchmarkFigure6DetectNested(b *testing.B) {
 	b.ReportMetric(t2, "t2-us")
 }
 
+// BenchmarkBackendDetection runs the Fig. 5 (clean) and Fig. 6 (infected)
+// detection sweeps on every registered hypervisor backend, one
+// sub-benchmark per backend × figure, reporting each backend's timing
+// signature. `make bench-backends` feeds this through cmd/benchjson.
+func BenchmarkBackendDetection(b *testing.B) {
+	for _, backend := range cloudskulk.Backends() {
+		for _, fig := range []string{"fig5-clean", "fig6-infected"} {
+			fig := fig
+			b.Run(backend+"/"+fig, func(b *testing.B) {
+				var t0, t1, t2 float64
+				for i := 0; i < b.N; i++ {
+					o := benchOptions(i)
+					o.Backend = backend
+					var ev cloudskulk.DetectionResult
+					var err error
+					if fig == "fig5-clean" {
+						ev, err = cloudskulk.Figure5DetectionClean(o)
+						if err == nil && ev.Verdict != cloudskulk.VerdictClean {
+							b.Fatalf("%s: verdict = %v", backend, ev.Verdict)
+						}
+					} else {
+						ev, err = cloudskulk.Figure6DetectionInfected(o)
+						if err == nil && ev.Verdict != cloudskulk.VerdictNested {
+							b.Fatalf("%s: verdict = %v", backend, ev.Verdict)
+						}
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					t0 = float64(ev.Evidence.T0.Mean()) / 1e3
+					t1 = float64(ev.Evidence.T1.Mean()) / 1e3
+					t2 = float64(ev.Evidence.T2.Mean()) / 1e3
+				}
+				b.ReportMetric(t0, "t0-us")
+				b.ReportMetric(t1, "t1-us")
+				b.ReportMetric(t2, "t2-us")
+			})
+		}
+	}
+}
+
 // BenchmarkRootkitInstall measures the full four-step installation against
 // an idle 1 GiB victim and reports the simulated install time (the
 // paper's "less than 1 minute" demo claim).

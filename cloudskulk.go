@@ -33,6 +33,7 @@ import (
 	"cloudskulk/internal/detect"
 	"cloudskulk/internal/experiments"
 	"cloudskulk/internal/fleet"
+	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
@@ -172,7 +173,42 @@ var (
 	// WithTelemetry wires a metrics registry through the whole testbed
 	// (host, KSM, vCPUs, network, migration engine).
 	WithTelemetry = experiments.WithTelemetry
+	// WithBackend builds the testbed on the named hypervisor backend
+	// (cost profile); the empty string selects DefaultBackend and unknown
+	// names make New return ErrUnknownBackend.
+	WithBackend = experiments.WithBackend
 )
+
+// Hypervisor backends: named cost-profile calibrations of the simulated
+// substrate. Every experiment and detector runs unchanged on any backend;
+// only the constants (exit costs, multipliers, KSM timing, boot time)
+// move.
+type (
+	// Backend is a registered hypervisor cost profile.
+	Backend = hv.Backend
+	// BackendProfile is the calibration a Backend carries.
+	BackendProfile = hv.Profile
+)
+
+// DefaultBackend names the paper's testbed calibration (Intel i7-4790
+// under KVM), the profile every golden artefact is pinned against.
+const DefaultBackend = hv.DefaultName
+
+// ErrUnknownBackend is returned (wrapped, with the registered names
+// listed) when an option or flag names a backend nobody registered.
+var ErrUnknownBackend = hv.ErrUnknownBackend
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string { return hv.Names() }
+
+// LookupBackend resolves a backend name ("" selects DefaultBackend).
+func LookupBackend(name string) (Backend, error) { return hv.Lookup(name) }
+
+// RegisterBackend adds a caller-defined cost profile to the registry,
+// rejecting profiles that break the simulation's core invariants (free
+// exits, an exit multiplier below 1, a KSM COW gap too narrow to ever
+// detect, a zero boot time).
+func RegisterBackend(b Backend) error { return hv.Register(b) }
 
 // Telemetry: sim-time metrics and structured spans.
 type (
@@ -232,7 +268,16 @@ var (
 	// WithFleetTelemetry replaces the fleet's private metrics registry
 	// (nil disables instrumentation entirely).
 	WithFleetTelemetry = fleet.WithTelemetry
+	// WithFleetBackend builds every fleet host on the named backend.
+	WithFleetBackend = fleet.WithBackend
+	// WithHostBackend overrides the backend for one named host; the host
+	// must exist or NewFleet returns ErrUnknownHost.
+	WithHostBackend = fleet.WithHostBackend
 )
+
+// ErrUnknownHost is returned when a fleet call names a host that does not
+// exist (including a WithHostBackend override for an unknown host).
+var ErrUnknownHost = fleet.ErrUnknownHost
 
 // NewFleet builds a seeded multi-host fleet: N hosts on a shared fabric
 // with per-pair links, a common live-migration engine, and a deterministic
@@ -249,14 +294,6 @@ func NewFleet(seed int64, opts ...FleetOption) (*Fleet, error) {
 // with a 1 GiB victim.
 func New(seed int64, opts ...CloudOption) (*Cloud, error) {
 	return experiments.NewCloud(seed, opts...)
-}
-
-// NewCloud builds a seeded testbed with an explicit guest memory size.
-//
-// Deprecated: use New with WithGuestMemMB instead; NewCloud remains for
-// callers of the original two-argument constructor.
-func NewCloud(seed int64, guestMemMB int64) (*Cloud, error) {
-	return New(seed, WithGuestMemMB(guestMemMB))
 }
 
 // DefaultInstallConfig returns the paper's attack parameters.

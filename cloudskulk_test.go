@@ -1,6 +1,7 @@
 package cloudskulk_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -11,7 +12,7 @@ import (
 // TestPublicAPIQuickstart exercises the README's quick-start flow through
 // the public facade only.
 func TestPublicAPIQuickstart(t *testing.T) {
-	cloud, err := cloudskulk.NewCloud(1, 32)
+	cloud, err := cloudskulk.New(1, cloudskulk.WithGuestMemMB(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 }
 
 func TestPublicAPICleanDetection(t *testing.T) {
-	cloud, err := cloudskulk.NewCloud(2, 32)
+	cloud, err := cloudskulk.New(2, cloudskulk.WithGuestMemMB(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestPublicAPIExperimentExtensions(t *testing.T) {
 }
 
 func TestPublicAPIBaselines(t *testing.T) {
-	cloud, err := cloudskulk.NewCloud(3, 32)
+	cloud, err := cloudskulk.New(3, cloudskulk.WithGuestMemMB(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestPublicAPIBaselines(t *testing.T) {
 }
 
 func TestPublicAPIServices(t *testing.T) {
-	cloud, err := cloudskulk.NewCloud(4, 32)
+	cloud, err := cloudskulk.New(4, cloudskulk.WithGuestMemMB(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,6 +174,77 @@ func TestPublicAPIServices(t *testing.T) {
 	})
 	if err := rk.AttachTap(filter); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEveryBackendDetectsTheRootkit is the cross-backend smoke test: the
+// KSM write-timing detector must flag the nested guest on every
+// registered backend, not just the paper's testbed calibration — the
+// attack and the defence are mechanics, the backend only moves the
+// constants.
+func TestEveryBackendDetectsTheRootkit(t *testing.T) {
+	names := cloudskulk.Backends()
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 registered backends, got %v", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cloud, err := cloudskulk.New(11,
+				cloudskulk.WithGuestMemMB(32), cloudskulk.WithBackend(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cloud.Host.Backend().Name; got != name {
+				t.Fatalf("host built on backend %q, want %q", got, name)
+			}
+			rk, err := cloud.InstallRootkit(cloudskulk.InstallConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud.Host.KSM().Start()
+			det := cloudskulk.NewDedupDetector(cloud.Host)
+			det.Pages = 50
+			agent := cloudskulk.NewGuestAgent(rk.Victim, 2048)
+			agent.OnLoad = rk.InterceptFilePushes(8192)
+			verdict, _, err := det.Run(agent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verdict != cloudskulk.VerdictNested {
+				t.Fatalf("backend %s: verdict = %v, want nested", name, verdict)
+			}
+		})
+	}
+}
+
+// TestPublicBackendAPI exercises the backend surface of the facade:
+// lookup, the typed unknown-name error from both the cloud and fleet
+// constructors, and per-host fleet overrides.
+func TestPublicBackendAPI(t *testing.T) {
+	b, err := cloudskulk.LookupBackend("")
+	if err != nil || b.Name != cloudskulk.DefaultBackend {
+		t.Fatalf("LookupBackend(\"\") = %v, %v", b.Name, err)
+	}
+	if _, err := cloudskulk.New(1, cloudskulk.WithBackend("xen-4.1")); !errors.Is(err, cloudskulk.ErrUnknownBackend) {
+		t.Fatalf("New with unknown backend: %v", err)
+	}
+	if _, err := cloudskulk.NewFleet(1, cloudskulk.WithFleetBackend("xen-4.1")); !errors.Is(err, cloudskulk.ErrUnknownBackend) {
+		t.Fatalf("NewFleet with unknown backend: %v", err)
+	}
+	if _, err := cloudskulk.NewFleet(1, cloudskulk.WithHosts(2),
+		cloudskulk.WithHostBackend("h99", "hvf-m2")); !errors.Is(err, cloudskulk.ErrUnknownHost) {
+		t.Fatalf("WithHostBackend on unknown host: %v", err)
+	}
+	fl, err := cloudskulk.NewFleet(1, cloudskulk.WithHosts(2),
+		cloudskulk.WithHostBackend("h01", "hvf-m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h00, _ := fl.Host("h00")
+	h01, _ := fl.Host("h01")
+	if h00.Backend().Name != cloudskulk.DefaultBackend || h01.Backend().Name != "hvf-m2" {
+		t.Fatalf("per-host backends = %q/%q", h00.Backend().Name, h01.Backend().Name)
 	}
 }
 

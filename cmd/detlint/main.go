@@ -61,6 +61,7 @@ var simFacing = []string{
 	"internal/mem", "internal/migrate", "internal/vnet", "internal/qemu",
 	"internal/fleet", "internal/telemetry", "internal/experiments",
 	"internal/detect", "internal/workload", "internal/runner",
+	"internal/hv", "internal/hv/backends",
 }
 
 // concurrencyExempt lists the only packages allowed to spawn goroutines

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	experiments [-scale full|quick] [-seed N] [-only artefact] [-workers N]
+//	            [-backend name]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
 // baselines, fleetstorm, ablations. Default runs all of them.
+//
+// -backend selects the hypervisor cost profile every testbed is built on
+// (default: the paper's kvm-i7-4790 calibration); every artefact runs
+// unchanged on any registered backend.
 //
 // Sweeps shard their cells across -workers goroutines (default GOMAXPROCS);
 // the rendered artefacts are byte-identical for any worker count. Live
@@ -50,7 +55,13 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel sweep workers (default GOMAXPROCS)")
 	progress := fs.Bool("progress", true, "print live sweep progress to stderr")
 	telemetryPath := fs.String("telemetry", "", "write accumulated metrics as JSON lines to this file")
+	backend := fs.String("backend", "",
+		"hypervisor backend (cost profile): "+strings.Join(cloudskulk.Backends(), ", ")+
+			"; default "+cloudskulk.DefaultBackend)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := cloudskulk.LookupBackend(*backend); err != nil {
 		return err
 	}
 
@@ -65,6 +76,7 @@ func run(args []string) error {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	o.Backend = *backend
 	if *telemetryPath != "" {
 		o.Telemetry = cloudskulk.NewTelemetryRegistry()
 	}

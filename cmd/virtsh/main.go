@@ -29,7 +29,11 @@
 //
 // Usage:
 //
-//	virtsh [-seed N] [-hosts N] [-f script]
+//	virtsh [-seed N] [-hosts N] [-backend name] [-f script]
+//
+// -backend builds the session's host(s) on the named hypervisor cost
+// profile (default: the paper's kvm-i7-4790); `backends` lists the
+// registry and shows each host's assignment.
 package main
 
 import (
@@ -42,12 +46,15 @@ import (
 	"strings"
 
 	"cloudskulk/internal/fleet"
+	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/sim"
 	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/virtman"
 	"cloudskulk/internal/vnet"
+
+	_ "cloudskulk/internal/hv/backends"
 )
 
 // sessionCommands are the shell-level commands layered over virtman's
@@ -56,6 +63,7 @@ import (
 var sessionCommands = []struct{ usage, desc string }{
 	{"stats", "telemetry snapshot (Prometheus text format)"},
 	{"trace", "completed migrations as span trees"},
+	{"backends", "list registered hypervisor backends and host assignments"},
 	{"hosts", "list hosts, trust tags, free memory (fleet)"},
 	{"link down <host>", "take every fabric link of <host> down (fleet)"},
 	{"link up <host>", "bring them back (fleet)"},
@@ -96,7 +104,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	hosts := fs.Int("hosts", 0, "run against an N-host fleet instead of one machine")
 	script := fs.String("f", "", "script file (default: stdin)")
+	backendName := fs.String("backend", "",
+		"hypervisor backend (cost profile): "+strings.Join(hv.Names(), ", ")+
+			"; default "+hv.DefaultName)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := hv.Lookup(*backendName)
+	if err != nil {
 		return err
 	}
 
@@ -105,10 +120,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fl    *fleet.Fleet
 		reg   *telemetry.Registry
 		spans *telemetry.SpanTracer
-		err   error
 	)
 	if *hosts > 0 {
-		fl, err = fleet.New(*seed, fleet.WithHosts(*hosts))
+		fl, err = fleet.New(*seed, fleet.WithHosts(*hosts), fleet.WithBackend(*backendName))
 		if err != nil {
 			return err
 		}
@@ -119,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	} else {
 		eng := sim.NewEngine(*seed)
 		network := vnet.New(eng)
-		if host, err = kvm.NewHost(eng, network, "host"); err != nil {
+		if host, err = kvm.NewHostWithBackend(eng, network, "host", backend); err != nil {
 			return err
 		}
 		me := migrate.NewEngine(eng, network)
@@ -171,6 +185,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if out == "" {
 				out = "No spans recorded yet.\n"
 			}
+		case "backends":
+			out, handled = backendsList(fl, host), true
 		default:
 			out, handled, err = fleetExecute(fl, line)
 		}
@@ -186,6 +202,39 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return sc.Err()
+}
+
+// backendsList renders the backend registry (default starred) followed by
+// the session's host-to-backend assignments.
+func backendsList(fl *fleet.Fleet, host *kvm.Host) string {
+	var b strings.Builder
+	b.WriteString("Registered backends:\n")
+	width := 0
+	for _, be := range hv.All() {
+		if len(be.Name) > width {
+			width = len(be.Name)
+		}
+	}
+	for _, be := range hv.All() {
+		marker := " "
+		if be.Name == hv.DefaultName {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s %-*s  %s\n", marker, width, be.Name, be.Description)
+	}
+	b.WriteString("Host assignments:\n")
+	if fl != nil {
+		for _, name := range fl.HostNames() {
+			h, err := fl.Host(name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s  %s\n", name, h.Backend().Name)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %s  %s\n", host.Name(), host.Backend().Name)
+	return b.String()
 }
 
 // fleetExecute intercepts fleet-level commands; everything else falls

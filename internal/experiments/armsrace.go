@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"cloudskulk/internal/core"
-	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/detect"
 	"cloudskulk/internal/report"
 	"cloudskulk/internal/runner"
@@ -93,7 +92,7 @@ func ArmsRaceSyncCountermeasure(o Options) (ArmsRaceResult, error) {
 
 func armsRaceCell(seed int64, o Options, attacker ArmsRaceAttacker, probe ArmsRaceProbe) (ArmsRaceRow, error) {
 	row := ArmsRaceRow{Attacker: attacker, Probe: probe}
-	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
+	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 	if err != nil {
 		return row, err
 	}
@@ -144,7 +143,7 @@ func armsRaceCell(seed int64, o Options, attacker ArmsRaceAttacker, probe ArmsRa
 	row.Verdict = verdict
 	if sync != nil {
 		row.Traps = sync.Traps()
-		row.TrapOverhead = sync.TrapOverhead(cpu.DefaultModel().NestedFaultCost.Duration())
+		row.TrapOverhead = sync.TrapOverhead(c.Host.Backend().Profile.CPU.NestedFaultCost.Duration())
 	}
 	row.HookVisible = rk.Victim.RAM().HasWriteHook()
 	return row, nil

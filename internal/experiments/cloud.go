@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudskulk/internal/core"
+	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
@@ -24,6 +25,10 @@ import (
 	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 	"cloudskulk/internal/workload"
+
+	// Make every built-in backend resolvable by name for any consumer of
+	// the experiments package.
+	_ "cloudskulk/internal/hv/backends"
 )
 
 // Options scales the experiments. Defaults reproduce the paper's testbed;
@@ -55,6 +60,11 @@ type Options struct {
 	// histograms are order-independent atomic sums, so exports stay
 	// byte-identical for any Workers value.
 	Telemetry *telemetry.Registry
+	// Backend names the registered hv backend (cost profile) every testbed
+	// is built on. Empty selects hv.DefaultName, the paper's i7-4790
+	// calibration. Unknown names surface hv.ErrUnknownBackend from the
+	// experiment entry points.
+	Backend string
 }
 
 // DefaultOptions reproduces the paper's configuration.
@@ -111,6 +121,24 @@ func (o Options) runnerOptions() runner.Options {
 	return runner.Options{Workers: o.Workers, OnProgress: o.OnProgress}
 }
 
+// resolveBackend maps Options.Backend to a registered hv backend,
+// surfacing hv.ErrUnknownBackend for names nobody registered.
+func (o Options) resolveBackend() (hv.Backend, error) {
+	return hv.Lookup(o.Backend)
+}
+
+// mustBackend is resolveBackend for the table generators that have no
+// error return; an unknown name panics with the same typed error text.
+// cmd/experiments validates -backend up front, so this only fires on
+// misuse of the library API.
+func (o Options) mustBackend() hv.Backend {
+	b, err := hv.Lookup(o.Backend)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // Cloud is one simulated testbed: a host with a migration engine and a
 // victim VM, mirroring the paper's Fedora 22 / QEMU 2.9 machine.
 type Cloud struct {
@@ -145,6 +173,7 @@ type cloudConfig struct {
 	ksmStarted  bool
 	profile     *workload.Profile
 	tele        *telemetry.Registry
+	backend     string
 }
 
 // CloudOption configures NewCloud.
@@ -181,6 +210,13 @@ func WithTelemetry(reg *telemetry.Registry) CloudOption {
 	return func(c *cloudConfig) { c.tele = reg }
 }
 
+// WithBackend builds the testbed's host on the named hv backend (cost
+// profile). The empty string selects hv.DefaultName; unknown names make
+// NewCloud return hv.ErrUnknownBackend.
+func WithBackend(name string) CloudOption {
+	return func(c *cloudConfig) { c.backend = name }
+}
+
 // NewCloud builds a testbed with a running victim VM named "guest0"
 // (SSH forwarded on 2222, monitor on 5555 unless WithMonitorPort) and an
 // idle co-tenant. The zero-option call reproduces the paper's testbed
@@ -192,9 +228,13 @@ func NewCloud(seed int64, opts ...CloudOption) (*Cloud, error) {
 		opt(&cc)
 	}
 
+	backend, err := hv.Lookup(cc.backend)
+	if err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine(seed)
 	network := vnet.New(eng)
-	host, err := kvm.NewHost(eng, network, "host")
+	host, err := kvm.NewHostWithBackend(eng, network, "host", backend)
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,7 @@ type DetectionResult struct {
 // exists (expected: t1 >> t2 ~= t0, verdict clean).
 func Figure5DetectionClean(o Options) (DetectionResult, error) {
 	o = o.withDefaults()
-	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithKSMStarted(), WithTelemetry(o.Telemetry))
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithKSMStarted(), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 	if err != nil {
 		return DetectionResult{}, err
 	}
@@ -50,7 +50,7 @@ func Figure5DetectionClean(o Options) (DetectionResult, error) {
 // rootkit installed (expected: t1 ~= t2 >> t0, verdict nested).
 func Figure6DetectionInfected(o Options) (DetectionResult, error) {
 	o = o.withDefaults()
-	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 	if err != nil {
 		return DetectionResult{}, err
 	}
@@ -194,7 +194,7 @@ func AblationTimingGap(o Options, gapRatios []float64) (AblationTimingGapResult,
 		i, infected := cell/2, cell%2 == 1
 		ratio := gapRatios[i]
 		seed := perRunSeed(o, cellLabel("ablate-gap", fmt.Sprintf("%v", infected)), i)
-		c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
+		c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 		if err != nil {
 			return 0, err
 		}
@@ -282,7 +282,7 @@ func BaselineComparison(o Options) (BaselineComparisonResult, error) {
 	}
 	rows, err := runner.Map(len(variants), o.runnerOptions(), func(i int) (BaselineComparisonRow, error) {
 		v := variants[i]
-		c, err := NewCloud(perRunSeed(o, "baseline-cmp", i), WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
+		c, err := NewCloud(perRunSeed(o, "baseline-cmp", i), WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 		if err != nil {
 			return BaselineComparisonRow{}, err
 		}

@@ -167,6 +167,7 @@ func stormOnce(o Options, hosts, conc int, frac float64, seed int64) (stormCell,
 		fleet.WithHosts(hosts),
 		fleet.WithHostLink(vnet.LinkSpec{Bandwidth: stormHostLinkBandwidth, Latency: 500 * time.Microsecond}),
 		fleet.WithRetry(3, 2*time.Second),
+		fleet.WithBackend(o.Backend),
 	}
 	if o.Telemetry != nil {
 		// Share the experiment-wide registry instead of the fleet's

@@ -109,7 +109,7 @@ func migrateOnce(seed int64, o Options, prof workload.Profile, kind MigrationKin
 func migrateOnceWith(seed int64, o Options, prof workload.Profile, kind MigrationKind,
 	configure func(*migrate.Engine)) (float64, bool, error) {
 	c, err := NewCloud(seed, WithGuestMemMB(o.GuestMemMB), WithWorkloadProfile(prof),
-		WithTelemetry(o.Telemetry))
+		WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 	if err != nil {
 		return 0, false, err
 	}
@@ -349,6 +349,7 @@ func AblationPrePostCopy(o Options) (AblationPrePostCopyResult, error) {
 		mode := modes[i]
 		c, err := NewCloud(perRunSeed(o, "ablate-mode", int(mode)),
 			WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry),
+			WithBackend(o.Backend),
 			// The victim is busy during the theft: pre-copy pays for that
 			// with downtime at the end, post-copy does not.
 			WithWorkloadProfile(workload.FilebenchProfile()))

@@ -12,16 +12,17 @@ import (
 )
 
 // levelContext builds a measurement context at a virtualization level with
-// the paper-calibrated model and light measurement noise. The vCPU counts
-// into o.Telemetry when one is set (SetTelemetry(nil) is the detached
-// fast path).
+// the backend's calibrated model and light measurement noise. The vCPU
+// counts into o.Telemetry when one is set (SetTelemetry(nil) is the
+// detached fast path).
 func levelContext(o Options, seed int64, level cpu.Level, memMB int64) *workload.Context {
+	prof := o.mustBackend().Profile
 	eng := sim.NewEngine(seed)
-	ctx := workload.HostContext(eng, cpu.DefaultModel(), memMB<<20)
+	ctx := workload.HostContext(eng, prof.CPU, memMB<<20)
 	if level != cpu.L0 {
-		ctx.VCPU = cpu.NewVCPU(eng, cpu.DefaultModel(), level)
+		ctx.VCPU = cpu.NewVCPU(eng, prof.CPU, level)
 	}
-	ctx.VCPU.Noise = 0.01
+	ctx.VCPU.Noise = prof.VCPUNoise
 	ctx.VCPU.SetTelemetry(o.Telemetry)
 	return ctx
 }
@@ -53,6 +54,9 @@ type Figure2Result struct {
 // L0/L1/L2, with ccache enabled only on L0 (the paper's footnote 1).
 func Figure2KernelCompile(o Options) (Figure2Result, error) {
 	o = o.withDefaults()
+	if _, err := o.resolveBackend(); err != nil {
+		return Figure2Result{}, err
+	}
 	cells := levelRunCells(o.Runs)
 	secs, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {
 		cl := cells[i]
@@ -112,6 +116,9 @@ type Figure3Result struct {
 // L0/L1/L2, 5 consecutive runs averaged.
 func Figure3Netperf(o Options) (Figure3Result, error) {
 	o = o.withDefaults()
+	if _, err := o.resolveBackend(); err != nil {
+		return Figure3Result{}, err
+	}
 	link := int64(2) << 30 // intra-host virtio path
 	cells := levelRunCells(o.Runs)
 	mbps, err := runner.Map(len(cells), o.runnerOptions(), func(i int) (float64, error) {

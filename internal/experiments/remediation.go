@@ -45,9 +45,13 @@ func RemediationDrill(o Options) (RemediationResult, error) {
 	o = o.withDefaults()
 	var res RemediationResult
 
+	backend, err := o.resolveBackend()
+	if err != nil {
+		return res, err
+	}
 	eng := sim.NewEngine(o.Seed)
 	network := vnet.New(eng)
-	host, err := kvm.NewHost(eng, network, "host")
+	host, err := kvm.NewHostWithBackend(eng, network, "host", backend)
 	if err != nil {
 		return res, err
 	}

@@ -41,9 +41,13 @@ func MultiTenantSurvey(o Options, tenants int, infected int) (SurveyResult, erro
 		infected = tenants / 2
 	}
 
+	backend, err := o.resolveBackend()
+	if err != nil {
+		return SurveyResult{}, err
+	}
 	eng := sim.NewEngine(o.Seed)
 	network := vnet.New(eng)
-	host, err := kvm.NewHost(eng, network, "host")
+	host, err := kvm.NewHostWithBackend(eng, network, "host", backend)
 	if err != nil {
 		return SurveyResult{}, err
 	}

@@ -107,7 +107,7 @@ func AblationExitMultiplier(o Options, multipliers []int) AblationExitMultiplier
 	var res AblationExitMultiplierResult
 	pipe := workload.ProcessOps()[3] // pipe latency
 	for _, m := range multipliers {
-		model := cpu.DefaultModel()
+		model := o.mustBackend().Profile.CPU
 		model.ExitMultiplier = m
 		cost := model.Cost(pipe, cpu.L2)
 		res.Multipliers = append(res.Multipliers, m)

@@ -25,7 +25,7 @@ type TimeToDetectResult struct {
 func TimeToDetect(o Options, scanPeriod time.Duration) (TimeToDetectResult, error) {
 	o = o.withDefaults()
 	res := TimeToDetectResult{ScanPeriod: scanPeriod}
-	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry))
+	c, err := NewCloud(o.Seed, WithGuestMemMB(o.GuestMemMB), WithTelemetry(o.Telemetry), WithBackend(o.Backend))
 	if err != nil {
 		return res, err
 	}

@@ -1,0 +1,97 @@
+// Package backends registers the built-in alternate hypervisor cost
+// profiles. Importing it (usually blank) makes every named backend
+// resolvable through hv.Lookup; the default kvm-i7-4790 profile is
+// registered by internal/hv itself and is always available.
+//
+// Each profile keeps the *mechanics* of the simulation — exit
+// multiplication, shadow-EPT faults, KSM COW timing — and recalibrates
+// the constants to a different substrate, so detector and attacker
+// economics can be compared apples-to-apples across hardware
+// generations and hypervisor designs.
+package backends
+
+import (
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/hv"
+	"cloudskulk/internal/ksm"
+)
+
+func init() {
+	hv.MustRegister(kvmEPYC7702())
+	hv.MustRegister(hvfM2())
+}
+
+// kvmEPYC7702 models a modern KVM host (AMD EPYC 7702-class, ~2019) with
+// the nested-virtualization improvements the paper's 2014-era testbed
+// lacked. The headline difference is the exit multiplier: VMCS shadowing
+// (and its AMD analogue, virtualized VMSAVE/VMLOAD) lets the L1
+// hypervisor read and write guest control state without trapping to L0,
+// collapsing the Turtles exit-multiplication factor from ~18 to single
+// digits. World switches are also cheaper in absolute terms on newer
+// cores, and NPT emulation for the L1 hypervisor matured. The nested
+// *penalty* shrinks — which squeezes the lmbench L2 columns — while the
+// KSM write-timing gap the detector uses remains wide: COW breaks still
+// cost a fault, a 4 KiB copy, and a TLB shootdown.
+func kvmEPYC7702() hv.Backend {
+	return hv.Backend{
+		Name:        "kvm-epyc-7702",
+		Description: "modern KVM (AMD EPYC 7702-class): VMCS-shadowing-era nested exits, faster world switches",
+		Profile: hv.Profile{
+			CPU: cpu.Model{
+				ExitCost:        cpu.Nanos(650),
+				ReflectCost:     cpu.Nanos(260),
+				ExitMultiplier:  6,
+				NestedFaultCost: cpu.Nanos(1400),
+				ALUDriftL1:      1.002,
+				ALUDriftL2:      1.021,
+				ALUDriftFloor:   cpu.Picoseconds(500),
+				SyscallPadL1:    cpu.Nanos(14),
+				SyscallPadL2:    cpu.Nanos(27),
+			},
+			KSM: ksm.CostModel{
+				RegularWrite:  700 * time.Nanosecond,
+				CowBreakWrite: 21 * time.Microsecond,
+			},
+			BootTime:     9 * time.Second,
+			ZeroFraction: 0.35,
+			VCPUNoise:    0.01,
+		},
+	}
+}
+
+// hvfM2 models an Apple-silicon-class machine running a Hypervisor
+// Framework VMM. HVF handles far less in the kernel than KVM: most exits
+// bounce out to the userspace VMM, so a single exit is markedly more
+// expensive, and an L1 hypervisor's control-state accesses have no
+// shadowing assist at all — the reflection path multiplies harder than
+// the paper's testbed. Raw page writes are fast on the wide cores, but a
+// dedup COW break still pays the full fault + copy + unmap path, so the
+// detector's timing gap is the widest of the built-ins.
+func hvfM2() hv.Backend {
+	return hv.Backend{
+		Name:        "hvf-m2",
+		Description: "Hypervisor.framework on Apple M2-class cores: userspace-VMM exits, no nested shadowing assist",
+		Profile: hv.Profile{
+			CPU: cpu.Model{
+				ExitCost:        cpu.Nanos(2300),
+				ReflectCost:     cpu.Nanos(950),
+				ExitMultiplier:  26,
+				NestedFaultCost: cpu.Nanos(3800),
+				ALUDriftL1:      1.004,
+				ALUDriftL2:      1.041,
+				ALUDriftFloor:   cpu.Picoseconds(500),
+				SyscallPadL1:    cpu.Nanos(26),
+				SyscallPadL2:    cpu.Nanos(55),
+			},
+			KSM: ksm.CostModel{
+				RegularWrite:  550 * time.Nanosecond,
+				CowBreakWrite: 26 * time.Microsecond,
+			},
+			BootTime:     11 * time.Second,
+			ZeroFraction: 0.40,
+			VCPUNoise:    0.012,
+		},
+	}
+}

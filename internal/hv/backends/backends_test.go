@@ -1,0 +1,61 @@
+package backends_test
+
+import (
+	"testing"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/hv"
+
+	_ "cloudskulk/internal/hv/backends"
+)
+
+// TestEveryBackendPreservesNestingEconomics: whatever the calibration,
+// the phenomena the paper rests on must survive — a trapping operation
+// costs more at L1 than L0 and much more at L2 than L1 (exit
+// multiplication), and page-table work faults only when nested.
+func TestEveryBackendPreservesNestingEconomics(t *testing.T) {
+	pipe := cpu.SyscallOp("pipe", cpu.Micros(2.6), 2, 0)
+	forkish := cpu.SyscallOp("fork", cpu.Micros(74), 0, 120)
+	for _, b := range hv.All() {
+		m := b.Profile.CPU
+		l0, l1, l2 := m.Cost(pipe, cpu.L0), m.Cost(pipe, cpu.L1), m.Cost(pipe, cpu.L2)
+		if !(l0 < l1 && l1 < l2) {
+			t.Errorf("%s: pipe costs not monotonic across levels: L0=%v L1=%v L2=%v", b.Name, l0, l1, l2)
+		}
+		// Exit multiplication: the L2 penalty dwarfs the L1 penalty.
+		if (l2 - l0) < 3*(l1-l0) {
+			t.Errorf("%s: no visible exit multiplication (L1 +%v, L2 +%v)", b.Name, l1-l0, l2-l0)
+		}
+		// Shadow-EPT faults appear only at L2.
+		if m.Cost(forkish, cpu.L1)-m.Cost(forkish, cpu.L0) > m.SyscallPadL1 {
+			t.Errorf("%s: exit-free page-table op pays a penalty at L1", b.Name)
+		}
+		if m.Cost(forkish, cpu.L2) <= m.Cost(forkish, cpu.L1) {
+			t.Errorf("%s: nested faults free at L2", b.Name)
+		}
+	}
+}
+
+// TestAlternatesDivergeFromEachOther: the two non-default built-ins model
+// opposite ends of the design space — one collapses the exit multiplier,
+// one inflates per-exit cost — so sweeps across backends actually span a
+// range instead of sampling the same point three times.
+func TestAlternatesDivergeFromEachOther(t *testing.T) {
+	epyc, err := hv.Lookup("kvm-epyc-7702")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := hv.Lookup("hvf-m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := hv.Lookup(hv.DefaultName)
+	if !(epyc.Profile.CPU.ExitMultiplier < def.Profile.CPU.ExitMultiplier) {
+		t.Errorf("epyc multiplier %d should undercut the paper's %d (VMCS shadowing)",
+			epyc.Profile.CPU.ExitMultiplier, def.Profile.CPU.ExitMultiplier)
+	}
+	if !(m2.Profile.CPU.ExitCost > def.Profile.CPU.ExitCost) {
+		t.Errorf("hvf exit cost %v should exceed KVM's %v (userspace VMM exits)",
+			m2.Profile.CPU.ExitCost, def.Profile.CPU.ExitCost)
+	}
+}

@@ -1,0 +1,154 @@
+// Package hv is the backend-neutral hypervisor layer: the interface
+// contract every substrate satisfies (Hypervisor / VirtualMachine /
+// VirtualCPU) plus the registered cost profiles that make substrates
+// interchangeable.
+//
+// The paper's results are calibrated to one machine — an Intel i7-4790
+// running QEMU 2.9/KVM — but the phenomena it studies (nested-exit
+// multiplication, shadow-EPT faults, KSM copy-on-write write timing) are
+// properties of *any* hardware-virtualization substrate; only the
+// constants differ. This package separates the two: the mechanics live in
+// internal/cpu, internal/kvm, and internal/ksm, while the constants are a
+// Profile registered here under a backend name. Experiments and fleets
+// select a backend by name and run unchanged; artefact goldens are pinned
+// per backend.
+//
+// The interface shapes follow the common hypervisor abstraction layers of
+// multi-backend VMMs (KVM / HVF / WHP behind one contract): a Hypervisor
+// creates and manages VirtualMachines, each VirtualMachine executes on a
+// VirtualCPU whose costs come from the backend's profile.
+package hv
+
+import (
+	"time"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/ksm"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/qemu"
+)
+
+// VirtualCPU is the execution contract a backend's vCPU satisfies:
+// modelled operations advance virtual time by the backend-calibrated cost
+// of running them at the vCPU's virtualization level.
+type VirtualCPU interface {
+	// Level is the virtualization level the vCPU runs at.
+	Level() cpu.Level
+	// Model returns the calibrated cost model in use.
+	Model() cpu.Model
+	// CostOf returns the exact (noise-free) cost of one execution of op.
+	CostOf(op cpu.Op) cpu.Cost
+	// Exec runs op n times and returns the elapsed virtual time.
+	Exec(op cpu.Op, n int) time.Duration
+	// MeasureMean runs op reps times and returns the mean per-op cost.
+	MeasureMean(op cpu.Op, reps int) cpu.Cost
+	// Executed returns how many operations of the class have run.
+	Executed(c cpu.Class) uint64
+	// Busy returns total virtual time the vCPU has consumed.
+	Busy() time.Duration
+}
+
+// VirtualMachine is one guest: a configured machine with RAM, a network
+// identity, a lifecycle state, and a vCPU executing at some level.
+type VirtualMachine interface {
+	// Name is the guest's name (unique per hypervisor).
+	Name() string
+	// Endpoint is the guest NIC's network endpoint.
+	Endpoint() string
+	// Config returns the launch configuration.
+	Config() qemu.Config
+	// State returns the lifecycle state.
+	State() qemu.State
+	// Running reports whether the guest is currently executing.
+	Running() bool
+	// RAM is the guest's physical memory image.
+	RAM() *mem.Space
+	// VCPU is the guest's virtual CPU.
+	VCPU() *cpu.VCPU
+	// Level is the virtualization level the guest executes at.
+	Level() cpu.Level
+}
+
+// Hypervisor hosts VirtualMachines at one virtualization level and can
+// run at any level itself (L0 on bare metal, L1 inside a guest — the
+// nesting CloudSkulk abuses).
+type Hypervisor interface {
+	// RunLevel is the level the hypervisor's own code runs at.
+	RunLevel() cpu.Level
+	// GuestLevel is the level its guests execute at.
+	GuestLevel() cpu.Level
+	// CreateVM defines a VM from cfg, in state created.
+	CreateVM(cfg qemu.Config) (*qemu.VM, error)
+	// Launch boots a created VM.
+	Launch(name string) error
+	// Reboot resets and re-boots a running guest.
+	Reboot(name string) error
+	// Kill terminates a VM and tears down everything CreateVM set up.
+	Kill(name string) error
+	// VM looks a guest up by name.
+	VM(name string) (*qemu.VM, bool)
+	// VMs returns all guests, sorted by name.
+	VMs() []*qemu.VM
+}
+
+// The canonical implementations satisfy the contracts. (The Hypervisor
+// assertion for *kvm.Hypervisor lives in internal/kvm — this package
+// cannot import it.)
+var (
+	_ VirtualCPU     = (*cpu.VCPU)(nil)
+	_ VirtualMachine = (*qemu.VM)(nil)
+)
+
+// Profile is a backend's calibrated cost model: every constant the
+// simulation charges that depends on the hypervisor substrate rather than
+// on the workload. Two backends with different Profiles run the same
+// experiments and differ only in these numbers.
+type Profile struct {
+	// CPU is the exit-cost model: world-switch cost, the Turtles
+	// exit-multiplication factor, shadow-EPT fault cost, per-level
+	// compute drift and kernel-path padding.
+	CPU cpu.Model
+	// KSM is the samepage-merging write-cost model — the regular-write
+	// vs COW-break-write gap the paper's detector times.
+	KSM ksm.CostModel
+	// BootTime is charged per VM launch (BIOS + kernel + userspace).
+	BootTime time.Duration
+	// ZeroFraction of a freshly booted guest's pages remain zero.
+	ZeroFraction float64
+	// VCPUNoise is the relative stddev applied per guest-vCPU Exec
+	// batch, modelling run-to-run measurement variance.
+	VCPUNoise float64
+}
+
+// Backend names a Profile: one registered hypervisor substrate.
+type Backend struct {
+	// Name is the registry key ("kvm-i7-4790", ...).
+	Name string
+	// Description is a one-line calibration note for listings.
+	Description string
+	// Profile is the backend's calibrated cost model.
+	Profile Profile
+}
+
+// DefaultName is the backend every constructor uses when none is named:
+// the paper's testbed.
+const DefaultName = "kvm-i7-4790"
+
+// Baseline returns the default backend — QEMU/KVM on the paper's Intel
+// i7-4790 testbed. Its constants are exactly the paper calibration
+// (cpu.DefaultModel, ksm.DefaultCostModel, a 15 s boot): artefacts
+// produced under this backend are byte-identical to the pre-backend-layer
+// tree, which the experiment goldens pin.
+func Baseline() Backend {
+	return Backend{
+		Name:        DefaultName,
+		Description: "QEMU 2.9/KVM on Intel i7-4790 — the paper's testbed calibration",
+		Profile: Profile{
+			CPU:          cpu.DefaultModel(),
+			KSM:          ksm.DefaultCostModel(),
+			BootTime:     15 * time.Second,
+			ZeroFraction: 0.35,
+			VCPUNoise:    0.01,
+		},
+	}
+}

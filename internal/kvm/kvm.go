@@ -14,6 +14,7 @@ import (
 
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/hostos"
+	"cloudskulk/internal/hv"
 	"cloudskulk/internal/ksm"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/qemu"
@@ -67,26 +68,38 @@ type Host struct {
 	// Model is the CPU cost model all vCPUs on this machine share.
 	Model cpu.Model
 
+	backend   hv.Backend
 	migration MigrationService
 	tel       *telemetry.Registry
 }
 
-// NewHost builds a physical machine with the given name, registering its
-// network endpoint. The KSM daemon is created but not started; call
+// NewHost builds a physical machine with the given name on the default
+// backend (the paper's kvm-i7-4790 calibration), registering its network
+// endpoint. The KSM daemon is created but not started; call
 // Host.KSM().Start() to enable deduplication scanning.
 func NewHost(eng *sim.Engine, network *vnet.Network, name string) (*Host, error) {
+	return NewHostWithBackend(eng, network, name, hv.Baseline())
+}
+
+// NewHostWithBackend builds a physical machine running the given
+// hypervisor backend: the backend's cost profile calibrates the host's
+// CPU model, KSM write timing, boot time, boot-page zero fraction, and
+// guest-vCPU measurement noise.
+func NewHostWithBackend(eng *sim.Engine, network *vnet.Network, name string, backend hv.Backend) (*Host, error) {
 	if err := network.AddEndpoint(name); err != nil {
 		return nil, fmt.Errorf("kvm: new host: %w", err)
 	}
+	prof := backend.Profile
 	h := &Host{
 		name:         name,
 		eng:          eng,
 		net:          network,
 		os:           hostos.New(eng, name),
-		ksmd:         ksm.New(eng, ksm.DefaultConfig(), ksm.DefaultCostModel()),
-		BootTime:     15 * time.Second,
-		ZeroFraction: 0.35,
-		Model:        cpu.DefaultModel(),
+		ksmd:         ksm.New(eng, ksm.DefaultConfig(), prof.KSM),
+		BootTime:     prof.BootTime,
+		ZeroFraction: prof.ZeroFraction,
+		Model:        prof.CPU,
+		backend:      backend,
 	}
 	h.hv = &Hypervisor{
 		host:     h,
@@ -116,6 +129,9 @@ func (h *Host) KSM() *ksm.Daemon { return h.ksmd }
 
 // Hypervisor returns the bare-metal (L0) hypervisor.
 func (h *Host) Hypervisor() *Hypervisor { return h.hv }
+
+// Backend returns the hypervisor backend this machine runs.
+func (h *Host) Backend() hv.Backend { return h.backend }
 
 // SetMigrationService wires a live-migration engine into the host; VMs
 // created afterwards get it as their monitor `migrate` backend.
@@ -185,7 +201,10 @@ type Hypervisor struct {
 	fwds map[string][]vnet.Addr
 }
 
-var _ qemu.PortForwarder = (*Hypervisor)(nil)
+var (
+	_ qemu.PortForwarder = (*Hypervisor)(nil)
+	_ hv.Hypervisor      = (*Hypervisor)(nil)
+)
 
 // RunLevel returns the level this hypervisor's own code runs at (L0 on
 // bare metal, L1 inside a guest).
@@ -240,7 +259,7 @@ func (hv *Hypervisor) CreateVM(cfg qemu.Config) (*qemu.VM, error) {
 		return nil, fmt.Errorf("kvm: create vm %q: %w", cfg.Name, err)
 	}
 	vm := qemu.NewVM(hv.host.eng, cfg, hv.host.Model, hv.GuestLevel(), endpoint)
-	vm.VCPU().Noise = 0.01
+	vm.VCPU().Noise = hv.host.backend.Profile.VCPUNoise
 	if hv.host.tel != nil {
 		vm.SetTelemetry(hv.host.tel)
 		vm.VCPU().SetTelemetry(hv.host.tel)
