@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends fleet-bench experiments clean
+.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends bench-cloudload fleet-bench experiments clean
 
 # The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
 BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
@@ -37,6 +37,7 @@ FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzMonitorDispatch$$' -fuzztime=$(FUZZTIME) ./internal/qemu
 	$(GO) test -run='^$$' -fuzz='^FuzzBenchJSONParse$$' -fuzztime=$(FUZZTIME) ./cmd/benchjson
+	$(GO) test -run='^$$' -fuzz='^FuzzControlPlaneRequest$$' -fuzztime=$(FUZZTIME) ./internal/controlplane
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -64,6 +65,13 @@ bench-backends:
 		| $(GO) run ./cmd/benchjson -out BENCH_BACKENDS.json
 	@echo wrote BENCH_BACKENDS.json
 
+# The million-op control-plane load run as structured JSON: p99 job
+# latency and the admission-reject rate land in BENCH_CLOUDLOAD.json.
+bench-cloudload:
+	$(GO) test -run='^$$' -bench='^BenchmarkCloudLoad$$' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_CLOUDLOAD.json
+	@echo wrote BENCH_CLOUDLOAD.json
+
 # Re-run the headline benchmarks and fail if any regressed against the
 # committed baseline, using the same parser that produced it. The
 # threshold is wide because wall-clock ns/op at 3 iterations swings
@@ -78,4 +86,4 @@ experiments:
 	$(GO) run ./cmd/experiments -scale quick
 
 clean:
-	rm -rf .build BENCH.json BENCH_BACKENDS.json
+	rm -rf .build BENCH.json BENCH_BACKENDS.json BENCH_CLOUDLOAD.json

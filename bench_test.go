@@ -453,6 +453,24 @@ func BenchmarkFleetMigrationStorm(b *testing.B) {
 	b.ReportMetric(maxMig, "max-migration-s")
 }
 
+// BenchmarkCloudLoad drives the control-plane load experiment at full
+// scale — 10,240 tenants, 1,024,000 ops across 64 cells — and reports
+// the headline service figures alongside the wall-clock cost.
+func BenchmarkCloudLoad(b *testing.B) {
+	var p99ms, rejectPct float64
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(i)
+		res, err := cloudskulk.CloudLoad(o, cloudskulk.DefaultCloudLoadConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99ms = float64(res.P99us) / 1000
+		rejectPct = 100 * float64(res.AdmissionRejects) / float64(res.Mutations)
+	}
+	b.ReportMetric(p99ms, "p99-ms")
+	b.ReportMetric(rejectPct, "admission-reject-pct")
+}
+
 // BenchmarkSweepWorkers regenerates Fig. 4 (the heaviest sweep: 6 cells x
 // Runs full migrations, each with its own testbed) at increasing worker
 // counts. On a multi-core machine wall-clock time drops near-linearly

@@ -28,6 +28,7 @@
 package cloudskulk
 
 import (
+	"cloudskulk/internal/controlplane"
 	"cloudskulk/internal/core"
 	"cloudskulk/internal/cpu"
 	"cloudskulk/internal/detect"
@@ -35,6 +36,7 @@ import (
 	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/loadgen"
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
@@ -278,6 +280,60 @@ var (
 // ErrUnknownHost is returned when a fleet call names a host that does not
 // exist (including a WithHostBackend override for an unknown host).
 var ErrUnknownHost = fleet.ErrUnknownHost
+
+// The control plane: the tenant-facing management API over a fleet.
+type (
+	// ControlPlane is the deterministic IaaS management layer: typed
+	// tenant requests, per-tenant quotas, and an async job queue on the
+	// shared sim engine.
+	ControlPlane = controlplane.Plane
+	// ControlPlaneConfig tunes the queue machinery (bound, slots,
+	// dispatch latency, retry policy).
+	ControlPlaneConfig = controlplane.Config
+	// TenantQuota bounds one tenant's footprint; zero fields are
+	// unlimited.
+	TenantQuota = controlplane.Quota
+	// APIRequest is one typed management call (deploy, stop, migrate,
+	// snapshot, list, usage) with a canonical wire form.
+	APIRequest = controlplane.Request
+	// ControlJob is one asynchronous mutation moving through the queue.
+	ControlJob = controlplane.Job
+	// ControlJobState is a job's lifecycle position.
+	ControlJobState = controlplane.JobState
+	// LoadOptions shapes one seeded tenant-traffic run.
+	LoadOptions = loadgen.Options
+	// LoadStats is a load run's deterministic outcome ledger.
+	LoadStats = loadgen.Stats
+	// LoadMix weighs the generated op types.
+	LoadMix = loadgen.Mix
+)
+
+// Control-plane job lifecycle states.
+const (
+	JobQueued    = controlplane.JobQueued
+	JobRunning   = controlplane.JobRunning
+	JobSucceeded = controlplane.JobSucceeded
+	JobFailed    = controlplane.JobFailed
+	JobCancelled = controlplane.JobCancelled
+)
+
+// NewControlPlane builds a management plane over a fleet; the plane
+// shares the fleet's engine, telemetry registry, and span tracer.
+func NewControlPlane(f *Fleet, cfg ControlPlaneConfig) *ControlPlane {
+	return controlplane.New(f, cfg)
+}
+
+// ParseAPIRequest parses the canonical wire form ("deploy t0 web 64",
+// "list t0", ...) into a validated request.
+func ParseAPIRequest(line string) (APIRequest, error) {
+	return controlplane.ParseRequest(line)
+}
+
+// RunLoad replays seeded tenant traffic against a control plane and
+// returns the ledger.
+func RunLoad(p *ControlPlane, o LoadOptions) (LoadStats, error) {
+	return loadgen.Run(p, o)
+}
 
 // NewFleet builds a seeded multi-host fleet: N hosts on a shared fabric
 // with per-pair links, a common live-migration engine, and a deterministic

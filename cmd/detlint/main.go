@@ -62,6 +62,7 @@ var simFacing = []string{
 	"internal/fleet", "internal/telemetry", "internal/experiments",
 	"internal/detect", "internal/workload", "internal/runner",
 	"internal/hv", "internal/hv/backends",
+	"internal/controlplane", "internal/loadgen",
 }
 
 // concurrencyExempt lists the only packages allowed to spawn goroutines

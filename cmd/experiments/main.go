@@ -7,7 +7,7 @@
 //	            [-backend name]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
-// baselines, fleetstorm, ablations. Default runs all of them.
+// baselines, fleetstorm, cloudload, ablations. Default runs all of them.
 //
 // -backend selects the hypervisor cost profile every testbed is built on
 // (default: the paper's kvm-i7-4790 calibration); every artefact runs
@@ -172,6 +172,17 @@ func run(args []string) error {
 		}},
 		{"fleetstorm", func() (string, error) {
 			r, err := cloudskulk.FleetMigrationStorm(o, []int{2, 4, 8}, []int{1, 2, 4}, []float64{0.25})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"cloudload", func() (string, error) {
+			cfg := cloudskulk.DefaultCloudLoadConfig()
+			if *scale == "quick" {
+				cfg = cloudskulk.QuickCloudLoadConfig()
+			}
+			r, err := cloudskulk.CloudLoad(o, cfg)
 			if err != nil {
 				return "", err
 			}

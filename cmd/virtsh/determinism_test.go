@@ -20,6 +20,13 @@ fleet migrate web h01
 link up h01
 fleet migrate web h01
 fleet guests
+tenant add acme 4 256 2
+cp deploy acme app 32
+cp deploy acme worker 32
+cp drain
+cp list acme
+cp usage acme
+cp jobs
 stats
 trace
 `

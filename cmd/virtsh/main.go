@@ -23,6 +23,17 @@
 //	fleet migrate <guest> <host>   cross-host live migration
 //	fleet guests                   list guests and their placement
 //
+// A fleet session also carries a control plane — the tenant-facing
+// management API. `tenant add`/`tenant list` manage accounts; `cp`
+// submits API requests in the canonical wire form (mutations become
+// async jobs, reads answer immediately); `cp jobs`, `cp cancel`, and
+// `cp drain` watch and settle the job queue:
+//
+//	tenant add acme 4 256 2        quota: 4 VMs, 256 MB, 2 jobs
+//	cp deploy acme web 64          -> job-00000001 queued
+//	cp drain                       run the clock until jobs settle
+//	cp list acme                   web  64 MB  running  on h02
+//
 // Every session carries a telemetry registry wired through the whole
 // stack; `stats` snapshots it (Prometheus text format) and `trace` renders
 // completed migrations as span trees. `help` lists everything.
@@ -45,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cloudskulk/internal/controlplane"
 	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
@@ -70,6 +82,12 @@ var sessionCommands = []struct{ usage, desc string }{
 	{"fleet spawn <host> <guest> <memMB>", "place and boot a guest (fleet)"},
 	{"fleet migrate <guest> <host>", "cross-host live migration (fleet)"},
 	{"fleet guests", "list guests and their placement (fleet)"},
+	{"tenant add <name> [vms memMB jobs]", "create a tenant account, optionally quota-bounded (fleet)"},
+	{"tenant list", "list tenants and their usage against quota (fleet)"},
+	{"cp <request>", "control-plane API call: deploy/stop/migrate/snapshot/list/usage (fleet)"},
+	{"cp jobs", "list control-plane jobs and their states (fleet)"},
+	{"cp cancel <job>", "cancel a still-queued job (fleet)"},
+	{"cp drain", "run the clock until every job reaches a terminal state (fleet)"},
 	{"quit", "end the session (also: exit)"},
 }
 
@@ -118,6 +136,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
 		host  *kvm.Host
 		fl    *fleet.Fleet
+		plane *controlplane.Plane
 		reg   *telemetry.Registry
 		spans *telemetry.SpanTracer
 	)
@@ -129,6 +148,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if host, err = fl.Host(fl.HostNames()[0]); err != nil {
 			return err
 		}
+		plane = controlplane.New(fl, controlplane.Config{})
 		reg, spans = fl.Telemetry(), fl.Spans()
 	} else {
 		eng := sim.NewEngine(*seed)
@@ -189,6 +209,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			out, handled = backendsList(fl, host), true
 		default:
 			out, handled, err = fleetExecute(fl, line)
+			if !handled {
+				out, handled, err = planeExecute(plane, line)
+			}
 		}
 		if !handled {
 			out, err = virtman.Execute(mgr, line)
@@ -235,6 +258,107 @@ func backendsList(fl *fleet.Fleet, host *kvm.Host) string {
 	}
 	fmt.Fprintf(&b, "  %s  %s\n", host.Name(), host.Backend().Name)
 	return b.String()
+}
+
+// planeExecute intercepts control-plane session commands (`tenant ...`
+// and `cp ...`); everything else falls through. Mutations submit async
+// jobs that sit queued until `cp drain` (or any other engine activity)
+// advances the virtual clock — the asynchrony is the point.
+func planeExecute(p *controlplane.Plane, line string) (out string, handled bool, err error) {
+	f := strings.Fields(line)
+	if f[0] != "tenant" && f[0] != "cp" {
+		return "", false, nil
+	}
+	if p == nil {
+		return "", true, fmt.Errorf("%q needs a fleet session (run with -hosts N)", f[0])
+	}
+	var b strings.Builder
+	switch {
+	case f[0] == "tenant" && (len(f) == 3 || len(f) == 6) && f[1] == "add":
+		q := controlplane.Quota{}
+		if len(f) == 6 {
+			vms, err1 := strconv.Atoi(f[3])
+			mem, err2 := strconv.ParseInt(f[4], 10, 64)
+			jobs, err3 := strconv.Atoi(f[5])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return "", true, fmt.Errorf("tenant add: quota must be three integers (vms memMB jobs)")
+			}
+			q = controlplane.Quota{MaxVMs: vms, MaxMemMB: mem, MaxJobs: jobs}
+		}
+		if err := p.CreateTenant(f[2], q); err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("tenant %s created\n", f[2]), true, nil
+	case f[0] == "tenant" && len(f) == 2 && f[1] == "list":
+		for _, name := range p.Tenants() {
+			u, err := p.TenantUsage(name)
+			if err != nil {
+				return "", true, err
+			}
+			fmt.Fprintf(&b, "%s  vms %d/%d  mem %d/%d MB  jobs %d/%d\n",
+				name, u.VMs, u.Quota.MaxVMs, u.MemMB, u.Quota.MaxMemMB, u.ActiveJobs, u.Quota.MaxJobs)
+		}
+		return b.String(), true, nil
+	case f[0] == "cp" && len(f) == 2 && f[1] == "jobs":
+		for _, j := range p.Jobs() {
+			fmt.Fprintf(&b, "%s  %-9s  %s", j.ID, j.State, j.Request.Render())
+			if j.Host != "" {
+				fmt.Fprintf(&b, "  -> %s", j.Host)
+			}
+			if j.Retries > 0 {
+				fmt.Fprintf(&b, "  (%d retries)", j.Retries)
+			}
+			if j.Err != nil {
+				fmt.Fprintf(&b, "  [%v]", j.Err)
+			}
+			b.WriteString("\n")
+		}
+		return b.String(), true, nil
+	case f[0] == "cp" && len(f) == 3 && f[1] == "cancel":
+		if err := p.CancelJob(f[2]); err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("%s cancelled\n", f[2]), true, nil
+	case f[0] == "cp" && len(f) == 2 && f[1] == "drain":
+		before := p.Outstanding()
+		p.Drain()
+		return fmt.Sprintf("drained: %d job(s) settled\n", before), true, nil
+	case f[0] == "cp" && len(f) >= 2:
+		req, err := controlplane.ParseRequest(strings.Join(f[1:], " "))
+		if err != nil {
+			return "", true, err
+		}
+		if !req.Op.Mutation() {
+			switch req.Op {
+			case controlplane.OpList:
+				vms, err := p.ListVMs(req.Tenant)
+				if err != nil {
+					return "", true, err
+				}
+				for _, v := range vms {
+					fmt.Fprintf(&b, "%s  %d MB  %s", v.Name, v.MemMB, v.State)
+					if v.Host != "" {
+						fmt.Fprintf(&b, "  on %s", v.Host)
+					}
+					b.WriteString("\n")
+				}
+			case controlplane.OpUsage:
+				u, err := p.TenantUsage(req.Tenant)
+				if err != nil {
+					return "", true, err
+				}
+				fmt.Fprintf(&b, "%s  vms %d/%d  mem %d/%d MB  jobs %d/%d\n",
+					u.Tenant, u.VMs, u.Quota.MaxVMs, u.MemMB, u.Quota.MaxMemMB, u.ActiveJobs, u.Quota.MaxJobs)
+			}
+			return b.String(), true, nil
+		}
+		j, err := p.Submit(req)
+		if err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("%s %s (%s)\n", j.ID, j.State, j.Request.Render()), true, nil
+	}
+	return "", true, fmt.Errorf("unknown %s command %q", f[0], line)
 }
 
 // fleetExecute intercepts fleet-level commands; everything else falls

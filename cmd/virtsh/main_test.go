@@ -80,6 +80,85 @@ link sideways h01
 	}
 }
 
+// TestControlPlaneSession drives the tenant/job surface end to end:
+// account creation with a quota, an async deploy that stays queued until
+// drained, reads answering synchronously, quota rejection, cancellation,
+// and the job listing.
+func TestControlPlaneSession(t *testing.T) {
+	out := shell(t, []string{"-hosts", "4"}, `
+tenant add acme 8 512 8
+tenant add acme
+cp deploy acme web 64
+cp list acme
+cp drain
+cp list acme
+cp deploy acme a 16
+cp deploy acme b 16
+cp deploy acme c 16
+cp deploy acme d 16
+cp deploy acme e 16
+cp cancel job-00000006
+cp cancel job-00000002
+cp drain
+cp usage acme
+cp jobs
+tenant list
+`)
+	if !strings.Contains(out, "tenant acme created") {
+		t.Fatalf("tenant creation ack missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "tenant already exists") {
+		t.Fatalf("duplicate tenant should surface the typed error:\n%s", out)
+	}
+	if !strings.Contains(out, "job-00000001 queued (deploy acme web 64)") {
+		t.Fatalf("deploy submission ack missing:\n%s", out)
+	}
+	// Before the drain the VM is still deploying; after, it is placed.
+	if !strings.Contains(out, "web  64 MB  deploying") {
+		t.Fatalf("pre-drain list should show the reservation:\n%s", out)
+	}
+	if !strings.Contains(out, "web  64 MB  running  on h") {
+		t.Fatalf("post-drain list should show placement:\n%s", out)
+	}
+	// Job 6 (deploy e) overflowed the 4 slots into the queue: cancellable.
+	// Job 2 (deploy a) went straight into a slot: refused.
+	if !strings.Contains(out, "job-00000006 cancelled") {
+		t.Fatalf("cancel of queued job missing:\n%s", out)
+	}
+	if !strings.Contains(out, "already dispatched") {
+		t.Fatalf("cancel of dispatched job should be refused:\n%s", out)
+	}
+	if !strings.Contains(out, "job-00000006  cancelled") {
+		t.Fatalf("job listing should show the cancelled job:\n%s", out)
+	}
+	if !strings.Contains(out, "acme  vms 5/8  mem 128/512 MB  jobs 0/8") {
+		t.Fatalf("usage after drain wrong:\n%s", out)
+	}
+}
+
+// TestControlPlaneQuotaRejection: a third deploy against a 2-VM quota is
+// shed with the typed quota error before ever becoming a job.
+func TestControlPlaneQuotaRejection(t *testing.T) {
+	out := shell(t, []string{"-hosts", "2"}, `
+tenant add acme 2 128 4
+cp deploy acme a 16
+cp deploy acme b 16
+cp deploy acme c 16
+`)
+	if !strings.Contains(out, "vm quota exceeded") {
+		t.Fatalf("third deploy should hit the VM quota:\n%s", out)
+	}
+}
+
+// TestControlPlaneNeedsFleet: cp/tenant commands in a single-host session
+// point at -hosts instead of panicking.
+func TestControlPlaneNeedsFleet(t *testing.T) {
+	out := shell(t, nil, "tenant add acme\ncp list acme\n")
+	if got := strings.Count(out, "needs a fleet session"); got != 2 {
+		t.Fatalf("want 2 fleet-session errors, got %d:\n%s", got, out)
+	}
+}
+
 // TestHelpListsEveryCommand: the `help` output covers every command the
 // session actually dispatches — all of virtman's domain commands plus the
 // session-level ones — so help cannot drift from the command set.

@@ -148,6 +148,29 @@ func AblationKSMWait(o ExperimentOptions, waits []time.Duration) (experiments.Ab
 	return experiments.AblationKSMWait(o, waits)
 }
 
+// Cloud control-plane load experiment.
+type (
+	// CloudLoadConfig sizes the control-plane load run (cells, tenants,
+	// ops, quotas, queue bounds); zero fields take the defaults.
+	CloudLoadConfig = experiments.CloudLoadConfig
+	// CloudLoadResult is the aggregated million-op ledger.
+	CloudLoadResult = experiments.CloudLoadResult
+)
+
+// DefaultCloudLoadConfig is the headline scale: 10,240 tenants issuing
+// 1,024,000 operations against 512 hosts across 64 cells.
+func DefaultCloudLoadConfig() CloudLoadConfig { return experiments.DefaultCloudLoadConfig() }
+
+// QuickCloudLoadConfig is a sub-second configuration for smoke runs.
+func QuickCloudLoadConfig() CloudLoadConfig { return experiments.QuickCloudLoadConfig() }
+
+// CloudLoad drives the configured tenant population through a control
+// plane per cell and aggregates the ledgers: latency percentiles,
+// throughput, quota/admission reject rates, and placement quality.
+func CloudLoad(o ExperimentOptions, cfg CloudLoadConfig) (*CloudLoadResult, error) {
+	return experiments.CloudLoad(o, cfg)
+}
+
 // FleetMigrationStorm sweeps fleet size × concurrent migrations ×
 // infected fraction: each cell quarantines its suspects onto trusted
 // hosts under link contention, then sweeps the whole fleet with the

@@ -1,0 +1,426 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudskulk/internal/fleet"
+)
+
+// testPlane builds a small plane over a 4-host fleet with tight host
+// budgets so quota and placement pressure are easy to trigger.
+func testPlane(t *testing.T, cfg Config) *Plane {
+	t.Helper()
+	f, err := fleet.New(1, fleet.WithHostSpecs(
+		fleet.HostSpec{Name: "h00", MemMB: 512},
+		fleet.HostSpec{Name: "h01", MemMB: 512},
+		fleet.HostSpec{Name: "h02", MemMB: 512},
+		fleet.HostSpec{Name: "h03", MemMB: 512, Trusted: true},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(f, cfg)
+}
+
+func mustTenant(t *testing.T, p *Plane, name string, q Quota) {
+	t.Helper()
+	if err := p.CreateTenant(name, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func submit(t *testing.T, p *Plane, line string) *Job {
+	t.Helper()
+	req, err := ParseRequest(line)
+	if err != nil {
+		t.Fatalf("parse %q: %v", line, err)
+	}
+	job, err := p.Submit(req)
+	if err != nil {
+		t.Fatalf("submit %q: %v", line, err)
+	}
+	return job
+}
+
+// TestDeployLifecycle: a deploy moves queued → running → succeeded, the
+// VM lands on a host, and the tenant's usage reflects it throughout.
+func TestDeployLifecycle(t *testing.T) {
+	p := testPlane(t, Config{})
+	mustTenant(t, p, "acme", Quota{})
+	job := submit(t, p, "deploy acme web 64")
+	if job.State != JobQueued && job.State != JobRunning {
+		t.Fatalf("fresh job state = %s", job.State)
+	}
+	if job.ID != "job-00000001" {
+		t.Fatalf("job ID = %q", job.ID)
+	}
+	// Quota is reserved at submit, before the job runs.
+	u, err := p.TenantUsage("acme")
+	if err != nil || u.VMs != 1 || u.MemMB != 64 || u.ActiveJobs != 1 {
+		t.Fatalf("usage after submit = %+v, %v", u, err)
+	}
+	p.Drain()
+	if job.State != JobSucceeded {
+		t.Fatalf("job state = %s, err %v", job.State, job.Err)
+	}
+	if job.Host == "" {
+		t.Fatal("deploy job recorded no host")
+	}
+	if job.Latency() <= 0 {
+		t.Fatal("job latency not positive")
+	}
+	vms, err := p.ListVMs("acme")
+	if err != nil || len(vms) != 1 {
+		t.Fatalf("ListVMs = %v, %v", vms, err)
+	}
+	if vms[0].State != "running" || vms[0].Host != job.Host {
+		t.Fatalf("vm row = %+v", vms[0])
+	}
+	u, _ = p.TenantUsage("acme")
+	if u.ActiveJobs != 0 {
+		t.Fatalf("active jobs after drain = %d", u.ActiveJobs)
+	}
+	// The guest is real: the fleet resolves it under the namespaced name.
+	if _, err := p.Fleet().Lookup("acme.web"); err != nil {
+		t.Fatalf("fleet lookup: %v", err)
+	}
+}
+
+// TestQuotaRejection: each quota axis rejects with its own typed error,
+// and rejected submissions reserve nothing.
+func TestQuotaRejection(t *testing.T) {
+	p := testPlane(t, Config{})
+	mustTenant(t, p, "acme", Quota{MaxVMs: 2, MaxMemMB: 128, MaxJobs: 10})
+	submit(t, p, "deploy acme a 64")
+	submit(t, p, "deploy acme b 32")
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "c", MemMB: 16}); !errors.Is(err, ErrQuotaVMs) {
+		t.Fatalf("vm quota = %v, want ErrQuotaVMs", err)
+	}
+	p.Drain()
+	// Stop b to free the VM slot; memory quota still binds (64 used).
+	submit(t, p, "stop acme b")
+	p.Drain()
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "c", MemMB: 128}); !errors.Is(err, ErrQuotaMemory) {
+		t.Fatalf("memory quota = %v, want ErrQuotaMemory", err)
+	}
+	u, _ := p.TenantUsage("acme")
+	if u.VMs != 1 || u.MemMB != 64 {
+		t.Fatalf("rejected submits leaked reservations: %+v", u)
+	}
+	// Job-concurrency quota.
+	mustTenant(t, p, "solo", Quota{MaxVMs: 10, MaxMemMB: 1024, MaxJobs: 1})
+	submit(t, p, "deploy solo x 16")
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "solo", VM: "y", MemMB: 16}); !errors.Is(err, ErrQuotaJobs) {
+		t.Fatalf("job quota = %v, want ErrQuotaJobs", err)
+	}
+	p.Drain()
+	// Duplicate VM names are rejected even while the first is deploying.
+	submit(t, p, "deploy solo y 16")
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "a", MemMB: 16}); !errors.Is(err, ErrDuplicateVM) {
+		t.Fatalf("duplicate vm = %v, want ErrDuplicateVM", err)
+	}
+	p.Drain()
+}
+
+// TestAdmissionControl: the queue bound sheds load with ErrAdmission,
+// and the shed submission reserves nothing.
+func TestAdmissionControl(t *testing.T) {
+	p := testPlane(t, Config{MaxQueue: 2, Slots: 1, DispatchLatency: time.Hour})
+	mustTenant(t, p, "acme", Quota{MaxVMs: 100, MaxMemMB: 100000, MaxJobs: 100})
+	// Slot 1 dispatches far in the future, so these stack up queued:
+	// first fills the slot, next two fill the queue.
+	submit(t, p, "deploy acme a 16")
+	submit(t, p, "deploy acme b 16")
+	submit(t, p, "deploy acme c 16")
+	_, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "d", MemMB: 16})
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("over-bound submit = %v, want ErrAdmission", err)
+	}
+	u, _ := p.TenantUsage("acme")
+	if u.VMs != 3 {
+		t.Fatalf("shed submit leaked a reservation: %+v", u)
+	}
+	p.Drain()
+	for _, j := range p.Jobs() {
+		if j.State != JobSucceeded {
+			t.Fatalf("%s = %s (%v)", j.ID, j.State, j.Err)
+		}
+	}
+}
+
+// TestCancelQueuedJob: cancel flips a queued job to cancelled, releases
+// its reservation, and refuses to touch running or finished jobs.
+func TestCancelQueuedJob(t *testing.T) {
+	p := testPlane(t, Config{Slots: 1, DispatchLatency: time.Hour})
+	mustTenant(t, p, "acme", Quota{})
+	running := submit(t, p, "deploy acme a 64")
+	queued := submit(t, p, "deploy acme b 64")
+	if err := p.CancelJob(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if queued.State != JobCancelled {
+		t.Fatalf("state = %s", queued.State)
+	}
+	u, _ := p.TenantUsage("acme")
+	if u.VMs != 1 || u.MemMB != 64 || u.ActiveJobs != 1 {
+		t.Fatalf("cancel did not release reservation: %+v", u)
+	}
+	if err := p.CancelJob(queued.ID); !errors.Is(err, ErrJobNotCancellable) {
+		t.Fatalf("double cancel = %v", err)
+	}
+	if err := p.CancelJob("job-99999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job = %v", err)
+	}
+	p.Drain()
+	if running.State != JobSucceeded {
+		t.Fatalf("survivor = %s (%v)", running.State, running.Err)
+	}
+	if err := p.CancelJob(running.ID); !errors.Is(err, ErrJobNotCancellable) {
+		t.Fatalf("cancel finished job = %v", err)
+	}
+}
+
+// TestCancelDispatchedJobRefused: a job pumped into a slot whose dispatch
+// event has not fired yet still reads "queued", but it has left the queue
+// and WILL execute — cancelling it must be refused, and it must still run
+// to completion. (Regression: CancelJob used to trust the state alone,
+// marking such jobs cancelled while the pending dispatch ran them anyway.)
+func TestCancelDispatchedJobRefused(t *testing.T) {
+	p := testPlane(t, Config{Slots: 1, DispatchLatency: time.Hour})
+	mustTenant(t, p, "acme", Quota{})
+	dispatched := submit(t, p, "deploy acme a 64")
+	if dispatched.State != JobQueued {
+		t.Fatalf("pre-dispatch state = %s", dispatched.State)
+	}
+	if err := p.CancelJob(dispatched.ID); !errors.Is(err, ErrJobNotCancellable) {
+		t.Fatalf("cancel dispatched job = %v, want ErrJobNotCancellable", err)
+	}
+	p.Drain()
+	if dispatched.State != JobSucceeded {
+		t.Fatalf("dispatched job = %s (%v), want succeeded", dispatched.State, dispatched.Err)
+	}
+	u, _ := p.TenantUsage("acme")
+	if u.VMs != 1 || u.MemMB != 64 {
+		t.Fatalf("usage after refused cancel: %+v", u)
+	}
+}
+
+// TestJobRetryOnPlacementPressure: a deploy that finds no host retries
+// on the shared backoff policy and succeeds once a stop frees room.
+func TestJobRetryOnPlacementPressure(t *testing.T) {
+	f, err := fleet.New(1, fleet.WithHostSpecs(fleet.HostSpec{Name: "h00", MemMB: 128}),
+		fleet.WithRetry(4, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(f, Config{Slots: 2})
+	mustTenant(t, p, "acme", Quota{MaxVMs: 10, MaxMemMB: 1024, MaxJobs: 10})
+	submit(t, p, "deploy acme a 128")
+	p.Drain()
+	// The host is full; this deploy must fail placement and back off.
+	blocked := submit(t, p, "deploy acme b 128")
+	// Free the room while the blocked deploy is in its backoff window.
+	f.Engine().Schedule(1500*time.Millisecond, "free", func() {
+		req, _ := ParseRequest("stop acme a")
+		if _, err := p.Submit(req); err != nil {
+			t.Errorf("stop submit: %v", err)
+		}
+	})
+	p.Drain()
+	if blocked.State != JobSucceeded {
+		t.Fatalf("blocked deploy = %s (%v)", blocked.State, blocked.Err)
+	}
+	if blocked.Retries == 0 {
+		t.Fatal("deploy succeeded without retrying — test lost its pressure")
+	}
+}
+
+// TestJobFailureRollsBack: a deploy that exhausts its retries fails
+// typed and releases the quota reservation.
+func TestJobFailureRollsBack(t *testing.T) {
+	f, err := fleet.New(1, fleet.WithHostSpecs(fleet.HostSpec{Name: "h00", MemMB: 64}),
+		fleet.WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(f, Config{})
+	mustTenant(t, p, "acme", Quota{})
+	job := submit(t, p, "deploy acme big 512")
+	p.Drain()
+	if job.State != JobFailed || !errors.Is(job.Err, fleet.ErrNoPlacement) {
+		t.Fatalf("job = %s (%v)", job.State, job.Err)
+	}
+	if job.Retries != 1 {
+		t.Fatalf("retries = %d, want 1 (2 attempts)", job.Retries)
+	}
+	u, _ := p.TenantUsage("acme")
+	if u.VMs != 0 || u.MemMB != 0 || u.ActiveJobs != 0 {
+		t.Fatalf("failed deploy leaked reservation: %+v", u)
+	}
+}
+
+// TestMigrateAndSnapshotJobs: the remaining mutations round-trip
+// through the queue against real fleet state.
+func TestMigrateAndSnapshotJobs(t *testing.T) {
+	p := testPlane(t, Config{})
+	mustTenant(t, p, "acme", Quota{})
+	submit(t, p, "deploy acme web 64")
+	p.Drain()
+	info, err := p.f.Lookup("acme.web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := info.Host
+	mig := submit(t, p, "migrate acme web")
+	p.Drain()
+	if mig.State != JobSucceeded {
+		t.Fatalf("migrate = %s (%v)", mig.State, mig.Err)
+	}
+	if mig.Host == from {
+		t.Fatalf("migrate stayed on %q", from)
+	}
+	// Targeted migration to a named host.
+	mig2 := submit(t, p, "migrate acme web "+from)
+	p.Drain()
+	if mig2.State != JobSucceeded || mig2.Host != from {
+		t.Fatalf("targeted migrate = %s host %q (%v)", mig2.State, mig2.Host, mig2.Err)
+	}
+	snap := submit(t, p, "snapshot acme web backup1")
+	p.Drain()
+	if snap.State != JobSucceeded {
+		t.Fatalf("snapshot = %s (%v)", snap.State, snap.Err)
+	}
+	info, _ = p.f.Lookup("acme.web")
+	if n := len(info.Inner.Snapshots()); n != 1 {
+		t.Fatalf("snapshots = %d, want 1", n)
+	}
+	// Mutations against unknown VMs / tenants are typed.
+	if _, err := p.Submit(Request{Op: OpStop, Tenant: "acme", VM: "ghost"}); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("unknown vm = %v", err)
+	}
+	if _, err := p.Submit(Request{Op: OpStop, Tenant: "ghost", VM: "web"}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant = %v", err)
+	}
+}
+
+// TestPlaneDeterminism: the same submission script replayed on a fresh
+// plane with the same seed produces identical job tables, host
+// placements, and virtual timestamps.
+func TestPlaneDeterminism(t *testing.T) {
+	run := func() string {
+		p := testPlane(t, Config{Slots: 2})
+		mustTenant(t, p, "acme", Quota{MaxVMs: 20, MaxMemMB: 2048, MaxJobs: 20})
+		for i := 0; i < 6; i++ {
+			submit(t, p, fmt.Sprintf("deploy acme vm%d 64", i))
+		}
+		p.Drain()
+		submit(t, p, "migrate acme vm0")
+		submit(t, p, "snapshot acme vm1 s1")
+		submit(t, p, "stop acme vm2")
+		p.Drain()
+		out := ""
+		for _, j := range p.Jobs() {
+			out += fmt.Sprintf("%s %s %s %s r%d %d/%d/%d\n",
+				j.ID, j.Request.Op, j.State, j.Host, j.Retries,
+				j.Submitted, j.Started, j.Finished)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRequestValidation: structural validation catches malformed
+// requests before they reach tenant state.
+func TestRequestValidation(t *testing.T) {
+	bad := []Request{
+		{Op: OpDeploy, Tenant: "a"},                      // no VM
+		{Op: OpDeploy, Tenant: "a", VM: "v"},             // no mem
+		{Op: OpDeploy, Tenant: "a", VM: "v", MemMB: -1},  // negative
+		{Op: OpDeploy, Tenant: "a.b", VM: "v", MemMB: 1}, // dot in tenant
+		{Op: OpDeploy, Tenant: "a", VM: "v/w", MemMB: 1}, // slash in vm
+		{Op: OpSnapshot, Tenant: "a", VM: "v"},           // no snap name
+		{Op: OpList, Tenant: "a", VM: "v"},               // read with vm
+		{Op: OpUsage, Tenant: ""},                        // no tenant
+		{Op: Op(99), Tenant: "a"},                        // bad op
+		{Op: OpStop, Tenant: "a", VM: "v", Target: "x"},  // stop w/ target
+		{Op: OpMigrate, Tenant: "a", VM: "v", MemMB: 5},  // migrate w/ mem
+	}
+	for _, r := range bad {
+		if err := r.Validate(); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalidRequest", r, err)
+		}
+	}
+	// Reads cannot be submitted as jobs.
+	p := testPlane(t, Config{})
+	mustTenant(t, p, "acme", Quota{})
+	if _, err := p.Submit(Request{Op: OpList, Tenant: "acme"}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("submit read = %v", err)
+	}
+}
+
+// TestParseRenderRoundTrip: canonical wire lines survive parse → render
+// → parse unchanged.
+func TestParseRenderRoundTrip(t *testing.T) {
+	lines := []string{
+		"deploy acme web 64",
+		"stop acme web",
+		"migrate acme web",
+		"migrate acme web h03",
+		"snapshot acme web nightly",
+		"list acme",
+		"usage acme",
+	}
+	for _, line := range lines {
+		r, err := ParseRequest(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if got := r.Render(); got != line {
+			t.Fatalf("render(parse(%q)) = %q", line, got)
+		}
+	}
+	for _, line := range []string{"", "frobnicate a b", "deploy acme web", "deploy acme web x", "usage"} {
+		if _, err := ParseRequest(line); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("parse %q = %v, want ErrInvalidRequest", line, err)
+		}
+	}
+}
+
+// TestTelemetryCounters: the plane's counters add up against a known
+// script — submissions, quota and admission rejects, terminal states.
+func TestTelemetryCounters(t *testing.T) {
+	p := testPlane(t, Config{MaxQueue: 1, Slots: 1, DispatchLatency: time.Hour})
+	mustTenant(t, p, "acme", Quota{MaxVMs: 2, MaxMemMB: 256, MaxJobs: 5})
+	submit(t, p, "deploy acme a 64") // fills the slot
+	submit(t, p, "deploy acme b 64") // fills the queue
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "c", MemMB: 64}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission, got %v", err)
+	}
+	p.Drain()
+	// Queue is empty now; VM quota (2) binds before admission.
+	if _, err := p.Submit(Request{Op: OpDeploy, Tenant: "acme", VM: "c", MemMB: 64}); !errors.Is(err, ErrQuotaVMs) {
+		t.Fatalf("want ErrQuotaVMs, got %v", err)
+	}
+	reg := p.Fleet().Telemetry()
+	for name, want := range map[string]uint64{
+		"cp_jobs_submitted_total":    2,
+		"cp_jobs_succeeded_total":    2,
+		"cp_jobs_failed_total":       0,
+		"cp_admission_rejects_total": 1,
+		"cp_quota_rejects_total":     1,
+		"cp_tenants_total":           1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if reg.Histogram("cp_job_latency_us", nil).Count() != 2 {
+		t.Error("latency histogram did not observe both jobs")
+	}
+}

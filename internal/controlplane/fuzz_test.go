@@ -1,0 +1,61 @@
+package controlplane
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzControlPlaneRequest drives arbitrary text through the plane's wire
+// parser — the surface external drivers and the virtsh session hit. The
+// contract: ParseRequest never panics, every accepted request passes
+// Validate, and the canonical form is a fixed point (parse ∘ render ∘
+// parse is the identity). Rejections must be the typed ErrInvalidRequest
+// so callers can tell bad input from plane failures.
+func FuzzControlPlaneRequest(f *testing.F) {
+	for _, seed := range []string{
+		"deploy acme web 64",
+		"deploy acme web 007",
+		"stop acme web",
+		"migrate acme web",
+		"migrate acme web h03",
+		"snapshot acme web nightly",
+		"list acme",
+		"usage acme",
+		"  deploy\tacme   web  64  ",
+		"deploy acme web 9223372036854775807",
+		"deploy acme web -5",
+		"deploy acme.evil web 64",
+		"migrate acme web ../h00",
+		"snapshot acme web ''",
+		"usage", "deploy", "", "   ", "quit", "deploy a b c d e",
+		"stop acme web extra",
+		"list acme acme",
+		"deploy \x00 web 64",
+		"deploy acme web 64\nstop acme web",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseRequest(line)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidRequest) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		if verr := req.Validate(); verr != nil {
+			t.Fatalf("accepted request fails Validate: %+v: %v", req, verr)
+		}
+		wire := req.Render()
+		back, err := ParseRequest(wire)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", wire, err)
+		}
+		if back != req {
+			t.Fatalf("round trip diverged: %+v -> %q -> %+v", req, wire, back)
+		}
+		if again := back.Render(); again != wire {
+			t.Fatalf("canonical form is not a fixed point: %q vs %q", wire, again)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package controlplane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op enumerates the API's request types. Deploy/Stop/Migrate/Snapshot
+// are mutations executed through the job queue; List/Usage are
+// synchronous reads.
+type Op int
+
+const (
+	OpDeploy Op = iota
+	OpStop
+	OpMigrate
+	OpSnapshot
+	OpList
+	OpUsage
+)
+
+var opNames = [...]string{"deploy", "stop", "migrate", "snapshot", "list", "usage"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Mutation reports whether the op goes through the job queue.
+func (o Op) Mutation() bool { return o <= OpSnapshot }
+
+// Request is one typed API call. Field use by op:
+//
+//	deploy   Tenant VM MemMB
+//	stop     Tenant VM
+//	migrate  Tenant VM [Target host, "" = let the scheduler pick]
+//	snapshot Tenant VM Target (snapshot name)
+//	list     Tenant
+//	usage    Tenant
+type Request struct {
+	Op     Op
+	Tenant string
+	VM     string
+	MemMB  int64
+	Target string
+}
+
+// Validate checks structural well-formedness (not tenant existence —
+// that is Submit's job, since it depends on plane state).
+func (r Request) Validate() error {
+	if int(r.Op) >= len(opNames) || r.Op < 0 {
+		return fmt.Errorf("%w: bad op %d", ErrInvalidRequest, int(r.Op))
+	}
+	if r.Tenant == "" || !wellFormedName(r.Tenant) {
+		return fmt.Errorf("%w: bad tenant %q", ErrInvalidRequest, r.Tenant)
+	}
+	switch r.Op {
+	case OpList, OpUsage:
+		if r.VM != "" || r.MemMB != 0 || r.Target != "" {
+			return fmt.Errorf("%w: %s takes only a tenant", ErrInvalidRequest, r.Op)
+		}
+		return nil
+	}
+	if r.VM == "" || !wellFormedName(r.VM) {
+		return fmt.Errorf("%w: bad vm %q", ErrInvalidRequest, r.VM)
+	}
+	switch r.Op {
+	case OpDeploy:
+		if r.MemMB <= 0 {
+			return fmt.Errorf("%w: deploy needs memMB > 0, got %d", ErrInvalidRequest, r.MemMB)
+		}
+		if r.Target != "" {
+			return fmt.Errorf("%w: deploy takes no target", ErrInvalidRequest)
+		}
+	case OpStop:
+		if r.MemMB != 0 || r.Target != "" {
+			return fmt.Errorf("%w: stop takes tenant and vm only", ErrInvalidRequest)
+		}
+	case OpMigrate:
+		if r.MemMB != 0 {
+			return fmt.Errorf("%w: migrate takes no memMB", ErrInvalidRequest)
+		}
+		if r.Target != "" && !wellFormedName(r.Target) {
+			return fmt.Errorf("%w: bad migrate target %q", ErrInvalidRequest, r.Target)
+		}
+	case OpSnapshot:
+		if r.MemMB != 0 {
+			return fmt.Errorf("%w: snapshot takes no memMB", ErrInvalidRequest)
+		}
+		if r.Target == "" || !wellFormedName(r.Target) {
+			return fmt.Errorf("%w: bad snapshot name %q", ErrInvalidRequest, r.Target)
+		}
+	}
+	return nil
+}
+
+// wellFormedName accepts the conservative identifier set every layer
+// below tolerates: letters, digits, dash, underscore. "." is reserved
+// as the tenant separator, "/" as the fabric's nesting separator.
+func wellFormedName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Render emits the request in canonical wire form — the exact text
+// ParseRequest accepts back. Parse∘Render is the identity on valid
+// requests; the fuzz target holds the plane to that.
+func (r Request) Render() string {
+	switch r.Op {
+	case OpDeploy:
+		return fmt.Sprintf("deploy %s %s %d", r.Tenant, r.VM, r.MemMB)
+	case OpStop:
+		return fmt.Sprintf("stop %s %s", r.Tenant, r.VM)
+	case OpMigrate:
+		if r.Target == "" {
+			return fmt.Sprintf("migrate %s %s", r.Tenant, r.VM)
+		}
+		return fmt.Sprintf("migrate %s %s %s", r.Tenant, r.VM, r.Target)
+	case OpSnapshot:
+		return fmt.Sprintf("snapshot %s %s %s", r.Tenant, r.VM, r.Target)
+	case OpList:
+		return "list " + r.Tenant
+	case OpUsage:
+		return "usage " + r.Tenant
+	}
+	return fmt.Sprintf("op(%d)", int(r.Op))
+}
+
+// ParseRequest parses the one-line wire form used by the virtsh session
+// and external drivers:
+//
+//	deploy <tenant> <vm> <memMB>
+//	stop <tenant> <vm>
+//	migrate <tenant> <vm> [host]
+//	snapshot <tenant> <vm> <name>
+//	list <tenant>
+//	usage <tenant>
+//
+// The returned request always passes Validate.
+func ParseRequest(line string) (Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Request{}, fmt.Errorf("%w: empty request", ErrInvalidRequest)
+	}
+	var r Request
+	op := -1
+	for i, name := range opNames {
+		if fields[0] == name {
+			op = i
+			break
+		}
+	}
+	if op < 0 {
+		return Request{}, fmt.Errorf("%w: unknown op %q", ErrInvalidRequest, fields[0])
+	}
+	r.Op = Op(op)
+	args := fields[1:]
+	switch r.Op {
+	case OpDeploy:
+		if len(args) != 3 {
+			return Request{}, fmt.Errorf("%w: deploy <tenant> <vm> <memMB>", ErrInvalidRequest)
+		}
+		mem, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("%w: bad memMB %q", ErrInvalidRequest, args[2])
+		}
+		r.Tenant, r.VM, r.MemMB = args[0], args[1], mem
+	case OpStop:
+		if len(args) != 2 {
+			return Request{}, fmt.Errorf("%w: stop <tenant> <vm>", ErrInvalidRequest)
+		}
+		r.Tenant, r.VM = args[0], args[1]
+	case OpMigrate:
+		if len(args) != 2 && len(args) != 3 {
+			return Request{}, fmt.Errorf("%w: migrate <tenant> <vm> [host]", ErrInvalidRequest)
+		}
+		r.Tenant, r.VM = args[0], args[1]
+		if len(args) == 3 {
+			r.Target = args[2]
+		}
+	case OpSnapshot:
+		if len(args) != 3 {
+			return Request{}, fmt.Errorf("%w: snapshot <tenant> <vm> <name>", ErrInvalidRequest)
+		}
+		r.Tenant, r.VM, r.Target = args[0], args[1], args[2]
+	case OpList, OpUsage:
+		if len(args) != 1 {
+			return Request{}, fmt.Errorf("%w: %s <tenant>", ErrInvalidRequest, r.Op)
+		}
+		r.Tenant = args[0]
+	}
+	if err := r.Validate(); err != nil {
+		return Request{}, err
+	}
+	return r, nil
+}

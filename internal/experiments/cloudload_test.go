@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudskulk/internal/telemetry"
+)
+
+// TestCloudLoadSmoke: the quick-scale run's aggregate ledger adds up and
+// every interesting control-plane path fires somewhere in the population.
+func TestCloudLoadSmoke(t *testing.T) {
+	o := TestOptions()
+	r, err := CloudLoad(o, QuickCloudLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := r.Config
+	if want := cfg.Cells * cfg.OpsPerCell; r.Issued != want {
+		t.Fatalf("issued = %d, want %d", r.Issued, want)
+	}
+	if r.Mutations+r.Reads != r.Issued {
+		t.Fatalf("mutations %d + reads %d != issued %d", r.Mutations, r.Reads, r.Issued)
+	}
+	if got := r.Accepted + r.QuotaRejects + r.AdmissionRejects + r.OtherRejects; got != r.Mutations {
+		t.Fatalf("submit outcomes %d != mutations %d", got, r.Mutations)
+	}
+	if r.Succeeded+r.Failed != r.Accepted {
+		t.Fatalf("terminal jobs %d+%d != accepted %d", r.Succeeded, r.Failed, r.Accepted)
+	}
+	if r.Accepted == 0 || r.QuotaRejects == 0 || r.AdmissionRejects == 0 {
+		t.Fatalf("a reject path never fired: %+v", r)
+	}
+	if r.P50us <= 0 || r.P99us < r.P50us {
+		t.Fatalf("implausible latency percentiles: p50=%d p99=%d", r.P50us, r.P99us)
+	}
+	if r.SurvivingVMs == 0 || r.UtilizationPct == 0 {
+		t.Fatalf("degenerate fleet population: %+v", r)
+	}
+	if !strings.Contains(r.Render(), "admission rejects") {
+		t.Fatal("render missing admission row")
+	}
+}
+
+// TestCloudLoadWorkerInvariance: the quick-scale artefact is byte-identical
+// serial and wide, and so is the telemetry export accumulated across cells.
+func TestCloudLoadWorkerInvariance(t *testing.T) {
+	render := func(workers int) (string, string) {
+		o := TestOptions()
+		o.Workers = workers
+		o.Telemetry = telemetry.NewRegistry()
+		r, err := CloudLoad(o, QuickCloudLoadConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := o.Telemetry.WriteJSONLines(&b); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(o.Telemetry.PromText())
+		return r.Render(), b.String()
+	}
+	serialArt, serialTele := render(1)
+	wideArt, wideTele := render(8)
+	if serialArt != wideArt {
+		t.Errorf("artefact depends on worker count:\n--- serial ---\n%s\n--- wide ---\n%s", serialArt, wideArt)
+	}
+	if serialTele != wideTele {
+		t.Error("telemetry export depends on worker count")
+	}
+}
+
+// cloudloadGoldenHashes pins the full-scale million-op artefact per seed.
+// The capture workflow matches golden_test.go: leave a value empty, run
+// with -v, paste the CAPTURE line.
+var cloudloadGoldenHashes = map[string]string{
+	"cloudload/seed=1": "4b6856e4930c6b0449cd7500bdc72f67fdedf51db3a8dae331361ee08ed9cb30",
+	"cloudload/seed=7": "34a84ef5ac72941463fb6d65926858b500f249ec7180d44834c6386611a801fe",
+}
+
+// TestCloudLoadGoldenMatrix: the full DefaultCloudLoadConfig run — 10,240
+// tenants, 1,024,000 ops — hashes to the pinned value for each seed at both
+// worker counts.
+func TestCloudLoadGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale cloudload matrix skipped in -short")
+	}
+	for _, seed := range []int64{1, 7} {
+		for _, workers := range []int{1, 8} {
+			o := TestOptions()
+			o.Seed = seed
+			o.Workers = workers
+			r, err := CloudLoad(o, DefaultCloudLoadConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := "cloudload/seed=" + map[int64]string{1: "1", 7: "7"}[seed]
+			h := sha(r.Render())
+			want := cloudloadGoldenHashes[name]
+			if want == "" {
+				t.Logf("CAPTURE %q: %q,", name, h)
+				continue
+			}
+			if h != want {
+				t.Errorf("seed=%d workers=%d cloudload hash = %s, want %s", seed, workers, h, want)
+			}
+		}
+	}
+	for name, want := range cloudloadGoldenHashes {
+		if want == "" {
+			t.Errorf("golden hash for %s not captured — run with -v and paste the CAPTURE lines", name)
+		}
+	}
+}

@@ -51,6 +51,25 @@ const (
 // explicit capacity.
 const DefaultHostMemMB = 8192
 
+// RetryPolicy is the fleet's bounded-exponential-backoff discipline:
+// Attempts tries total, the k-th retry delayed by Backoff·2^k of virtual
+// time. Migration retries use it directly; the control plane's job queue
+// reuses the same policy for transient job failures, so operator-facing
+// retry behaviour is uniform across layers.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (1 = no retries).
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it.
+	Backoff time.Duration
+}
+
+// Delay returns the virtual-time backoff before retry number retry
+// (0-based): Backoff << retry.
+func (rp RetryPolicy) Delay(retry int) time.Duration {
+	return rp.Backoff << retry
+}
+
 // HostSpec describes one physical machine of the fleet.
 type HostSpec struct {
 	Name string
@@ -161,8 +180,7 @@ type Fleet struct {
 	nextIdx int // fleet-wide guest counter (port layout)
 	gen     int // migration generation counter (instance names, ports)
 
-	retries int
-	backoff time.Duration
+	retry RetryPolicy
 
 	tele  *telemetry.Registry
 	spans *telemetry.SpanTracer
@@ -232,16 +250,15 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 	mig.SetSpans(spans)
 
 	f := &Fleet{
-		eng:     eng,
-		net:     network,
-		mig:     mig,
-		hosts:   make(map[string]*kvm.Host, len(c.hosts)),
-		specs:   make(map[string]HostSpec, len(c.hosts)),
-		guests:  make(map[string]*guest),
-		retries: c.retries,
-		backoff: c.backoff,
-		tele:    tele,
-		spans:   spans,
+		eng:    eng,
+		net:    network,
+		mig:    mig,
+		hosts:  make(map[string]*kvm.Host, len(c.hosts)),
+		specs:  make(map[string]HostSpec, len(c.hosts)),
+		guests: make(map[string]*guest),
+		retry:  RetryPolicy{Attempts: c.retries, Backoff: c.backoff},
+		tele:   tele,
+		spans:  spans,
 	}
 	for _, spec := range c.hosts {
 		if spec.MemMB <= 0 {
@@ -288,6 +305,11 @@ func (f *Fleet) Telemetry() *telemetry.Registry { return f.tele }
 // Spans returns the fleet's span tracer; fleet-level operations and the
 // migration engine record their trees here.
 func (f *Fleet) Spans() *telemetry.SpanTracer { return f.spans }
+
+// Retry returns the fleet's configured retry policy (WithRetry), so
+// higher layers — the control plane's job queue — can apply the same
+// backoff discipline to their own transient failures.
+func (f *Fleet) Retry() RetryPolicy { return f.retry }
 
 // Host returns a host by name.
 func (f *Fleet) Host(name string) (*kvm.Host, error) {
@@ -353,13 +375,25 @@ func (f *Fleet) FreeMemMB(host string) int64 {
 
 // StartGuest creates and boots a guest on the named host, assigning it a
 // fleet-unique service port (SSH forward), monitor port, and QMP port.
+// Guest names are fleet-wide: a name already registered — or already
+// backing a VM instance on *any* host, including migration clones and
+// interposed stacks that never appear in the registry — is rejected with
+// ErrDuplicateGuest naming the occupying host, instead of leaking a
+// hypervisor- or fabric-level collision from whichever host it happens
+// to clash on.
 func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
 	hv, err := f.Host(host)
 	if err != nil {
 		return nil, err
 	}
-	if _, dup := f.guests[name]; dup {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateGuest, name)
+	if g, dup := f.guests[name]; dup {
+		return nil, fmt.Errorf("%w: %q already on host %q", ErrDuplicateGuest, name, g.host)
+	}
+	for _, other := range f.order {
+		if _, exists := f.hosts[other].Hypervisor().VM(name); exists {
+			return nil, fmt.Errorf("%w: %q already backed by an instance on host %q",
+				ErrDuplicateGuest, name, other)
+		}
 	}
 	if memMB <= 0 {
 		return nil, fmt.Errorf("fleet: guest %q needs memory > 0", name)
@@ -385,6 +419,27 @@ func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
 	f.guests[name] = &guest{name: name, host: host, memMB: memMB, servicePort: servicePort}
 	f.tele.Counter("fleet_placements_total").Inc()
 	return vm, nil
+}
+
+// StopGuest terminates a guest and removes it from the registry, freeing
+// its memory budget. The currently backing instance is resolved through
+// the service chain (so a migrated — or even infected — stack is torn
+// down whole: Kill takes any nested guests with it).
+func (f *Fleet) StopGuest(name string) error {
+	g, ok := f.guests[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGuest, name)
+	}
+	info, err := f.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := f.hosts[g.host].Hypervisor().Kill(info.Outer.Name()); err != nil {
+		return err
+	}
+	delete(f.guests, name)
+	f.tele.Counter("fleet_stops_total").Inc()
+	return nil
 }
 
 // GuestInfo is the operator's current view of a guest: where it is and

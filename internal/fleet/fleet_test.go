@@ -179,7 +179,7 @@ func TestWithRetryAndHostLinkOptions(t *testing.T) {
 	if got := f.Network().Link("h00", "h01"); got != spec {
 		t.Fatalf("link = %+v", got)
 	}
-	if f.retries != 5 || f.backoff != time.Second {
-		t.Fatalf("retry = %d/%v", f.retries, f.backoff)
+	if f.Retry() != (RetryPolicy{Attempts: 5, Backoff: time.Second}) {
+		t.Fatalf("retry = %+v", f.Retry())
 	}
 }

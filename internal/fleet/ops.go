@@ -36,19 +36,17 @@ type MoveReport struct {
 // between attempts; each retry restarts the stream from a full dirty
 // set. Non-abort errors (config mismatch, cancellation) fail fast.
 func (f *Fleet) migrateWithRetry(vm *qemu.VM, target vnet.Addr) (attempts, retries int, err error) {
-	backoff := f.backoff
 	for attempts = 1; ; attempts++ {
 		err = f.mig.MigrateTo(vm, target)
 		if err == nil {
 			return attempts, retries, nil
 		}
-		if !errors.Is(err, migrate.ErrAborted) || attempts >= f.retries {
+		if !errors.Is(err, migrate.ErrAborted) || attempts >= f.retry.Attempts {
 			return attempts, retries, fmt.Errorf("%w: %q after %d attempts: %w",
 				ErrMigrationFailed, vm.Name(), attempts, err)
 		}
+		f.eng.RunFor(f.retry.Delay(retries))
 		retries++
-		f.eng.RunFor(backoff)
-		backoff *= 2
 	}
 }
 

@@ -59,3 +59,30 @@ func TestAlternatesDivergeFromEachOther(t *testing.T) {
 			m2.Profile.CPU.ExitCost, def.Profile.CPU.ExitCost)
 	}
 }
+
+// TestXenHaswellCalibration: the same-era Xen profile sits where the
+// history says it should — single exits in KVM's class (in-hypervisor
+// handling, unlike HVF's userspace bounce), but a *worse* exit
+// multiplier and nested-fault cost than the paper's KVM (Xen 4.4 nested
+// HVM predates any VMCS-shadowing use), so nested economics bracket the
+// default from above without inflating per-exit cost.
+func TestXenHaswellCalibration(t *testing.T) {
+	xen, err := hv.Lookup("xen-haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := hv.Lookup(hv.DefaultName)
+	m2, _ := hv.Lookup("hvf-m2")
+	if xen.Profile.CPU.ExitCost > def.Profile.CPU.ExitCost || xen.Profile.CPU.ExitCost >= m2.Profile.CPU.ExitCost {
+		t.Errorf("xen exit cost %v should be KVM-class (<= %v) and below HVF's %v",
+			xen.Profile.CPU.ExitCost, def.Profile.CPU.ExitCost, m2.Profile.CPU.ExitCost)
+	}
+	if xen.Profile.CPU.ExitMultiplier <= def.Profile.CPU.ExitMultiplier {
+		t.Errorf("xen multiplier %d should exceed the paper's %d (no VMCS shadowing in nested Xen 4.4)",
+			xen.Profile.CPU.ExitMultiplier, def.Profile.CPU.ExitMultiplier)
+	}
+	if xen.Profile.CPU.NestedFaultCost <= def.Profile.CPU.NestedFaultCost {
+		t.Errorf("xen nested fault %v should exceed KVM's %v (immature EPT-on-EPT)",
+			xen.Profile.CPU.NestedFaultCost, def.Profile.CPU.NestedFaultCost)
+	}
+}
