@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends bench-cloudload fleet-bench experiments clean
+.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends bench-cloudload bench-armsrace fleet-bench experiments clean
 
 # The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
 BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
@@ -38,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzMonitorDispatch$$' -fuzztime=$(FUZZTIME) ./internal/qemu
 	$(GO) test -run='^$$' -fuzz='^FuzzBenchJSONParse$$' -fuzztime=$(FUZZTIME) ./cmd/benchjson
 	$(GO) test -run='^$$' -fuzz='^FuzzControlPlaneRequest$$' -fuzztime=$(FUZZTIME) ./internal/controlplane
+	$(GO) test -run='^$$' -fuzz='^FuzzStrategySpec$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -72,6 +73,14 @@ bench-cloudload:
 		| $(GO) run ./cmd/benchjson -out BENCH_CLOUDLOAD.json
 	@echo wrote BENCH_CLOUDLOAD.json
 
+# The strategy × detector × backend coverage matrix as structured JSON:
+# the overall catch rate and the count of dedup-evading strategies the
+# invariant detector recovers land in BENCH_ARMSRACE.json.
+bench-armsrace:
+	$(GO) test -run='^$$' -bench='^BenchmarkArmsRaceMatrix$$' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_ARMSRACE.json
+	@echo wrote BENCH_ARMSRACE.json
+
 # Re-run the headline benchmarks and fail if any regressed against the
 # committed baseline, using the same parser that produced it. The
 # threshold is wide because wall-clock ns/op at 3 iterations swings
@@ -86,4 +95,4 @@ experiments:
 	$(GO) run ./cmd/experiments -scale quick
 
 clean:
-	rm -rf .build BENCH.json BENCH_BACKENDS.json BENCH_CLOUDLOAD.json
+	rm -rf .build BENCH.json BENCH_BACKENDS.json BENCH_CLOUDLOAD.json BENCH_ARMSRACE.json

@@ -268,6 +268,30 @@ func BenchmarkArmsRaceSyncCountermeasure(b *testing.B) {
 	b.ReportMetric(traps, "full-track-traps")
 }
 
+// BenchmarkArmsRaceMatrix runs the scenario engine's full coverage matrix
+// — every generated strategy × every roster detector × every registered
+// backend — and reports the roster's overall catch rate plus the number
+// of dedup-evading strategies the invariant detector recovers.
+// `make bench-armsrace` feeds this through cmd/benchjson.
+func BenchmarkArmsRaceMatrix(b *testing.B) {
+	var caught, cells, pairs float64
+	for i := 0; i < b.N; i++ {
+		res, err := cloudskulk.ArmsRaceMatrix(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		caught, cells = 0, float64(len(res.Cells))
+		for _, c := range res.Cells {
+			if c.Caught {
+				caught++
+			}
+		}
+		pairs = float64(res.EvasionPairs())
+	}
+	b.ReportMetric(100*caught/cells, "caught-pct")
+	b.ReportMetric(pairs, "evasion-pairs-closed")
+}
+
 // BenchmarkMultiTenantSurvey sweeps a three-tenant host with one victim
 // and reports classification accuracy.
 func BenchmarkMultiTenantSurvey(b *testing.B) {

@@ -40,6 +40,8 @@ import (
 	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/qemu"
+	"cloudskulk/internal/scenario"
+	"cloudskulk/internal/sim"
 	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/vnet"
 	"cloudskulk/internal/workload"
@@ -66,11 +68,14 @@ type (
 	Level = cpu.Level
 )
 
-// Virtualization levels, in the Turtles notation the paper uses.
+// Virtualization levels, in the Turtles notation the paper uses. L3 is
+// the scenario engine's deeper-nesting strategy: a guest behind two
+// stacked hypervisors.
 const (
 	L0 = cpu.L0
 	L1 = cpu.L1
 	L2 = cpu.L2
+	L3 = cpu.L3
 )
 
 // The attack.
@@ -123,6 +128,53 @@ const (
 	VerdictNested       = detect.VerdictNested
 	VerdictInconclusive = detect.VerdictInconclusive
 )
+
+// The arms race: generated attacker strategies vs. the detector roster.
+type (
+	// StrategySpec is one fully parameterized attacker strategy,
+	// replayable from its (seed, spec) pair and round-trippable through
+	// its wire form.
+	StrategySpec = scenario.Spec
+	// StrategyKind is the strategy archetype (baseline, evade-ksm,
+	// shape-dirty, nest-deep).
+	StrategyKind = scenario.Kind
+	// ChurnScope selects which shared-candidate regions an evasion
+	// strategy re-dirties.
+	ChurnScope = scenario.Scope
+	// ArmsRaceConfig parameterizes a coverage-matrix sweep.
+	ArmsRaceConfig = scenario.MatrixConfig
+	// ArmsRaceCell is one strategy × detector × backend outcome.
+	ArmsRaceCell = scenario.Cell
+	// ArmsRaceResult is the full deterministic coverage matrix.
+	ArmsRaceResult = scenario.MatrixResult
+	// InvariantDetector is the Hello-rootKitty-style kernel-range
+	// checksum auditor.
+	InvariantDetector = detect.InvariantDetector
+	// SkewDetector flags exit-class skew from the host's telemetry.
+	SkewDetector = detect.SkewDetector
+)
+
+// GenerateStrategies draws n attacker strategies from the seeded strategy
+// space; the first four cover every archetype once.
+func GenerateStrategies(seed int64, n int) []StrategySpec { return scenario.Generate(seed, n) }
+
+// ParseStrategy reads a strategy from its wire form
+// ("kind=evade-ksm churn=80ms scope=shared-all ...").
+func ParseStrategy(wire string) (StrategySpec, error) { return scenario.Parse(wire) }
+
+// DetectorRoster lists the scenario engine's detector roster in matrix
+// order.
+func DetectorRoster() []string { return scenario.RosterNames() }
+
+// NewInvariantDetector arms a checksum auditor over pages [from, from+n)
+// of a guest's RAM as L0 sees it.
+func NewInvariantDetector(eng *sim.Engine, s *mem.Space, from, n int) *InvariantDetector {
+	return detect.NewInvariantDetector(eng, s, from, n)
+}
+
+// NewSkewDetector returns an exit-class-skew detector over the given
+// telemetry registry.
+func NewSkewDetector(reg *TelemetryRegistry) *SkewDetector { return detect.NewSkewDetector(reg) }
 
 // Experiments: the paper's evaluation.
 type (

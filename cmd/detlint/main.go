@@ -62,7 +62,7 @@ var simFacing = []string{
 	"internal/fleet", "internal/telemetry", "internal/experiments",
 	"internal/detect", "internal/workload", "internal/runner",
 	"internal/hv", "internal/hv/backends",
-	"internal/controlplane", "internal/loadgen",
+	"internal/controlplane", "internal/loadgen", "internal/scenario",
 }
 
 // concurrencyExempt lists the only packages allowed to spawn goroutines

@@ -7,7 +7,8 @@
 //	            [-backend name]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
-// baselines, fleetstorm, cloudload, ablations. Default runs all of them.
+// baselines, armsrace-matrix, fleetstorm, cloudload, ablations. Default
+// runs all of them.
 //
 // -backend selects the hypervisor cost profile every testbed is built on
 // (default: the paper's kvm-i7-4790 calibration); every artefact runs
@@ -144,6 +145,13 @@ func run(args []string) error {
 		}},
 		{"armsrace", func() (string, error) {
 			r, err := cloudskulk.ArmsRaceSyncCountermeasure(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"armsrace-matrix", func() (string, error) {
+			r, err := cloudskulk.ArmsRaceMatrix(o)
 			if err != nil {
 				return "", err
 			}

@@ -27,6 +27,8 @@ cp drain
 cp list acme
 cp usage acme
 cp jobs
+scenario strategies 4
+scenario detectors
 stats
 trace
 `

@@ -34,6 +34,13 @@
 //	cp drain                       run the clock until jobs settle
 //	cp list acme                   web  64 MB  running  on h02
 //
+// The adversarial scenario engine is reachable from any session:
+// `scenario strategies [n]` prints seeded attacker strategies in their
+// wire form, `scenario detectors` the detector roster, and
+// `scenario matrix` runs the full strategies-times-detectors coverage
+// matrix on the session's backend — all pure functions of -seed and
+// -backend.
+//
 // Every session carries a telemetry registry wired through the whole
 // stack; `stats` snapshots it (Prometheus text format) and `trace` renders
 // completed migrations as span trees. `help` lists everything.
@@ -61,6 +68,7 @@ import (
 	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
 	"cloudskulk/internal/migrate"
+	"cloudskulk/internal/scenario"
 	"cloudskulk/internal/sim"
 	"cloudskulk/internal/telemetry"
 	"cloudskulk/internal/virtman"
@@ -88,6 +96,9 @@ var sessionCommands = []struct{ usage, desc string }{
 	{"cp jobs", "list control-plane jobs and their states (fleet)"},
 	{"cp cancel <job>", "cancel a still-queued job (fleet)"},
 	{"cp drain", "run the clock until every job reaches a terminal state (fleet)"},
+	{"scenario strategies [n]", "generate n seeded attacker strategies in wire form (default 5)"},
+	{"scenario detectors", "list the detector roster the arms-race matrix runs"},
+	{"scenario matrix", "strategies x detectors coverage matrix on this session's backend"},
 	{"quit", "end the session (also: exit)"},
 }
 
@@ -208,7 +219,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		case "backends":
 			out, handled = backendsList(fl, host), true
 		default:
-			out, handled, err = fleetExecute(fl, line)
+			out, handled, err = scenarioExecute(*seed, backend.Name, line)
+			if !handled {
+				out, handled, err = fleetExecute(fl, line)
+			}
 			if !handled {
 				out, handled, err = planeExecute(plane, line)
 			}
@@ -258,6 +272,46 @@ func backendsList(fl *fleet.Fleet, host *kvm.Host) string {
 	}
 	fmt.Fprintf(&b, "  %s  %s\n", host.Name(), host.Backend().Name)
 	return b.String()
+}
+
+// scenarioExecute intercepts `scenario ...` commands — the attacker/detector
+// arms-race surface. Strategies and the coverage matrix derive from the
+// session seed and backend alone, so they replay byte-identically; the
+// matrix builds its own per-cell worlds and leaves the session's host
+// untouched.
+func scenarioExecute(seed int64, backend, line string) (out string, handled bool, err error) {
+	f := strings.Fields(line)
+	if f[0] != "scenario" {
+		return "", false, nil
+	}
+	switch {
+	case (len(f) == 2 || len(f) == 3) && f[1] == "strategies":
+		n := 5
+		if len(f) == 3 {
+			n, err = strconv.Atoi(f[2])
+			if err != nil || n <= 0 {
+				return "", true, fmt.Errorf("scenario strategies: count must be a positive integer, got %q", f[2])
+			}
+		}
+		return scenario.RenderSpecs(scenario.Generate(seed, n)) + "\n", true, nil
+	case len(f) == 2 && f[1] == "detectors":
+		var b strings.Builder
+		for _, name := range scenario.RosterNames() {
+			fmt.Fprintf(&b, "%s\n", name)
+		}
+		return b.String(), true, nil
+	case len(f) == 2 && f[1] == "matrix":
+		r, err := scenario.RunMatrix(scenario.MatrixConfig{
+			Seed:     seed,
+			Backends: []string{backend},
+			Workers:  1,
+		})
+		if err != nil {
+			return "", true, err
+		}
+		return r.Render(), true, nil
+	}
+	return "", true, fmt.Errorf("unknown scenario command %q", line)
 }
 
 // planeExecute intercepts control-plane session commands (`tenant ...`

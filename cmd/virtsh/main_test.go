@@ -159,6 +159,54 @@ func TestControlPlaneNeedsFleet(t *testing.T) {
 	}
 }
 
+// TestScenarioCommands drives the arms-race surface from a plain session:
+// strategy generation honours the count and the session seed, the roster
+// listing names every detector, the matrix runs on the session's backend
+// only, and malformed forms report themselves.
+func TestScenarioCommands(t *testing.T) {
+	if out := shell(t, []string{"-seed", "7"}, "scenario strategies 3\n"); strings.Count(out, "kind=") != 3 {
+		t.Fatalf("want 3 strategy wire lines:\n%s", out)
+	}
+	out := shell(t, []string{"-seed", "7", "-backend", "xen-haswell"}, `
+scenario detectors
+scenario matrix
+scenario strategies zero
+scenario bogus
+`)
+	for _, det := range []string{"dedup-timing", "invariant-checksum", "exit-skew"} {
+		if !strings.Contains(out, det) {
+			t.Errorf("detector %q missing from roster/matrix output:\n%s", det, out)
+		}
+	}
+	if !strings.Contains(out, "seed=7") || !strings.Contains(out, "xen-haswell") {
+		t.Errorf("matrix should run on the session seed and backend:\n%s", out)
+	}
+	if strings.Contains(out, "kvm-i7-4790") {
+		t.Errorf("matrix leaked a backend beyond the session's:\n%s", out)
+	}
+	if !strings.Contains(out, "must be a positive integer") {
+		t.Errorf("bad strategy count should report itself:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown scenario command") {
+		t.Errorf("unknown subcommand should report itself:\n%s", out)
+	}
+}
+
+// TestScenarioStrategiesSeedBound: the generated strategy list is a pure
+// function of -seed — same seed, same wire lines; different seed, a
+// different list.
+func TestScenarioStrategiesSeedBound(t *testing.T) {
+	a := shell(t, []string{"-seed", "3"}, "scenario strategies 6\n")
+	b := shell(t, []string{"-seed", "3"}, "scenario strategies 6\n")
+	c := shell(t, []string{"-seed", "4"}, "scenario strategies 6\n")
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Fatalf("different seeds produced identical strategies:\n%s", a)
+	}
+}
+
 // TestHelpListsEveryCommand: the `help` output covers every command the
 // session actually dispatches — all of virtman's domain commands plus the
 // session-level ones — so help cannot drift from the command set.

@@ -5,6 +5,7 @@ import (
 
 	"cloudskulk/internal/experiments"
 	"cloudskulk/internal/runner"
+	"cloudskulk/internal/scenario"
 )
 
 // SweepProgress is a live progress snapshot delivered to
@@ -91,6 +92,23 @@ func BaselineComparison(o ExperimentOptions) (BaselineComparisonResult, error) {
 // matrix: sync strategies vs probe choices, with overhead accounting.
 func ArmsRaceSyncCountermeasure(o ExperimentOptions) (experiments.ArmsRaceResult, error) {
 	return experiments.ArmsRaceSyncCountermeasure(o)
+}
+
+// ArmsRaceMatrix runs the scenario engine's full coverage matrix:
+// generated attacker strategies × the detector roster × every registered
+// backend (or just o.Backend when set). The artefact is byte-identical
+// for any Workers value.
+func ArmsRaceMatrix(o ExperimentOptions) (*scenario.MatrixResult, error) {
+	cfg := scenario.MatrixConfig{
+		Seed:       o.Seed,
+		GuestMemMB: 16,
+		Workers:    o.Workers,
+		OnProgress: o.OnProgress,
+	}
+	if o.Backend != "" {
+		cfg.Backends = []string{o.Backend}
+	}
+	return scenario.RunMatrix(cfg)
 }
 
 // MultiTenantSurvey runs the dedup-timing detector against every tenant of

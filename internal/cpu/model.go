@@ -72,9 +72,15 @@ const (
 	L0 Level = iota
 	L1
 	L2
+	// L3 is a guest of a nested guest — beyond the paper's evaluation, but
+	// the level a deeper-nesting attacker strategy stacks to. Every L3 exit
+	// reflects through *two* intermediate hypervisors, so the exit
+	// multiplication compounds.
+	L3
 )
 
-// Levels lists the three levels the paper evaluates, in order.
+// Levels lists the three levels the paper evaluates, in order. Deeper
+// levels (L3) exist in the model but are not part of the paper's sweep.
 var Levels = []Level{L0, L1, L2}
 
 // String returns the Turtles-style level name.
@@ -222,12 +228,21 @@ func (m Model) Cost(op Op, level Level) Cost {
 		exits := Cost(op.Profile.Exits) * m.ExitCost
 		return drifted + exits
 	default:
-		// L2 and (hypothetically) deeper: each exit reflects to L1 and
-		// multiplies; page-table work additionally faults.
+		// L2 and deeper: each exit reflects to the enclosing hypervisor
+		// and multiplies; page-table work additionally faults. Every level
+		// past L2 wraps the reflection again — the L_{n-1} hypervisor's
+		// handling of one reflected exit is itself ExitMultiplier exits
+		// *at its own level*, each paying the full cost below it — so the
+		// per-exit cost compounds geometrically with depth.
 		drifted := Cost(base*m.aluDrift(op, m.ALUDriftL2)) + m.syscallPad(op, m.SyscallPadL2)
 		perExit := m.ReflectCost + Cost(m.ExitMultiplier)*m.ExitCost
+		faultCost := m.NestedFaultCost
+		for l := L2; l < level; l++ {
+			perExit = m.ReflectCost + Cost(m.ExitMultiplier)*perExit
+			faultCost = Cost(m.ExitMultiplier) * faultCost
+		}
 		exits := Cost(op.Profile.Exits) * perExit
-		faults := Cost(op.Profile.NestedFaults) * m.NestedFaultCost
+		faults := Cost(op.Profile.NestedFaults) * faultCost
 		return drifted + exits + faults
 	}
 }
@@ -255,6 +270,12 @@ func (m Model) ExitsAt(op Op, level Level) int {
 	case L1:
 		return op.Profile.Exits
 	default:
-		return op.Profile.Exits*(1+m.ExitMultiplier) + op.Profile.NestedFaults
+		per := 1 + m.ExitMultiplier
+		faults := op.Profile.NestedFaults
+		for l := L2; l < level; l++ {
+			per = 1 + m.ExitMultiplier*per
+			faults *= m.ExitMultiplier
+		}
+		return op.Profile.Exits*per + faults
 	}
 }

@@ -52,8 +52,16 @@ func (v *VCPU) SetTelemetry(reg *telemetry.Registry) {
 	case L1:
 		t.exitFactor = 1
 	default:
-		t.exitFactor = uint64(1 + v.model.ExitMultiplier)
-		t.faultFactor = 1
+		// L2 and deeper: mirror Model.ExitsAt — every level past L2 wraps
+		// the multiplication again and each nested fault multiplies too.
+		per := 1 + v.model.ExitMultiplier
+		faults := 1
+		for l := L2; l < v.level; l++ {
+			per = 1 + v.model.ExitMultiplier*per
+			faults *= v.model.ExitMultiplier
+		}
+		t.exitFactor = uint64(per)
+		t.faultFactor = uint64(faults)
 	}
 	lvl := v.level.String()
 	for _, c := range []Class{ClassALU, ClassSyscall, ClassIO} {

@@ -1,0 +1,101 @@
+package detect
+
+import (
+	"time"
+
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/sim"
+)
+
+// InvariantDetector is the Hello-rootKitty-style defence: an L0-side audit
+// that periodically re-hashes a pinned range of a guest's physical memory —
+// the kernel-image pages, which a healthy guest never rewrites — and flags
+// the guest when the invariant breaks. Unlike the dedup-timing protocol it
+// needs no in-guest agent and no KSM; its blind spot is the converse: an
+// attacker who *never touches* the monitored range (a static impersonation)
+// sails through, while one who churns it to dodge KSM trips it.
+//
+// A benign guest does occasionally rewrite monitored pages legitimately
+// (relocation at boot, a kernel update). The detector therefore carries the
+// same two-consecutive-audits volatility gate the KSM scanner uses: a
+// single hash change re-baselines and marks the range suspect; only a
+// change on the *next* audit as well — sustained tampering — is a hit.
+type InvariantDetector struct {
+	eng   *sim.Engine
+	space *mem.Space
+	from  int
+	n     int
+
+	// PerPageCost is the virtual time one audited page costs (an L0-side
+	// read + hash step). Every audit advances Pages × PerPageCost — the
+	// detector's overhead is explicit, not free.
+	PerPageCost time.Duration
+
+	baseline uint64
+	suspect  bool // hash differed at the previous audit
+	audits   uint64
+	hits     uint64
+	elapsed  time.Duration
+}
+
+// DefaultInvariantPageCost is the per-page audit cost: one cached 4 KiB
+// read plus a hash step from the L0 side.
+const DefaultInvariantPageCost = 250 * time.Nanosecond
+
+// NewInvariantDetector arms an auditor over pages [from, from+n) of the
+// given space (a guest's RAM as L0 sees it), recording the current range
+// hash as the invariant baseline. Arming is free: the baseline is taken
+// from the provisioning record, not a fresh scan.
+func NewInvariantDetector(eng *sim.Engine, s *mem.Space, from, n int) *InvariantDetector {
+	return &InvariantDetector{
+		eng:         eng,
+		space:       s,
+		from:        from,
+		n:           n,
+		PerPageCost: DefaultInvariantPageCost,
+		baseline:    s.RangeHash(from, n),
+	}
+}
+
+// Rebind points subsequent audits at a different space — the admin's view
+// of "the guest's RAM" after a migration moved it — keeping the armed
+// baseline and gate state. This is what makes the detector meaningful
+// against CloudSkulk: the invariant was recorded against the VM the admin
+// provisioned, and keeps being enforced against whatever L0 process now
+// claims to be that VM.
+func (d *InvariantDetector) Rebind(s *mem.Space) { d.space = s }
+
+// Audit runs one hash pass over the monitored range, charging the audit's
+// virtual-time cost, and reports whether the invariant-violation gate
+// tripped on this pass.
+func (d *InvariantDetector) Audit() bool {
+	cost := time.Duration(d.n) * d.PerPageCost
+	d.eng.Advance(cost)
+	d.elapsed += cost
+	d.audits++
+	h := d.space.RangeHash(d.from, d.n)
+	switch {
+	case h == d.baseline:
+		d.suspect = false
+		return false
+	case d.suspect:
+		// Changed on two consecutive audits: sustained tampering.
+		d.baseline = h
+		d.hits++
+		return true
+	default:
+		// First change: tolerate (legitimate rewrite), re-baseline, watch.
+		d.baseline = h
+		d.suspect = true
+		return false
+	}
+}
+
+// Audits returns how many audit passes have run.
+func (d *InvariantDetector) Audits() uint64 { return d.audits }
+
+// Hits returns how many audits tripped the gate.
+func (d *InvariantDetector) Hits() uint64 { return d.hits }
+
+// Overhead returns the total virtual time the audits have consumed.
+func (d *InvariantDetector) Overhead() time.Duration { return d.elapsed }

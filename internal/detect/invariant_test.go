@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"testing"
+
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
+	"cloudskulk/internal/sim"
+	"cloudskulk/internal/telemetry"
+)
+
+func newAuditedSpace(t *testing.T) (*sim.Engine, *mem.Space, *InvariantDetector) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	s := mem.NewSpace("guest-ram", 64*mem.PageSize)
+	s.FillRandom(eng.RNG(), 0)
+	return eng, s, NewInvariantDetector(eng, s, 0, 32)
+}
+
+// TestInvariantQuietGuestNeverFlagged: an untouched monitored range audits
+// clean forever, and the audit overhead is charged.
+func TestInvariantQuietGuestNeverFlagged(t *testing.T) {
+	_, _, d := newAuditedSpace(t)
+	for i := 0; i < 10; i++ {
+		if d.Audit() {
+			t.Fatalf("audit %d flagged an untouched range", i)
+		}
+	}
+	if d.Hits() != 0 || d.Audits() != 10 {
+		t.Fatalf("hits=%d audits=%d", d.Hits(), d.Audits())
+	}
+	if d.Overhead() <= 0 {
+		t.Fatal("audits charged no overhead")
+	}
+}
+
+// TestInvariantBenignRewriteNotFlagged is the false-positive path: a guest
+// legitimately rewriting monitored pages once (a kernel update between two
+// audits) must re-baseline, not flag — volatility-gate parity with the KSM
+// checksum gate.
+func TestInvariantBenignRewriteNotFlagged(t *testing.T) {
+	eng, s, d := newAuditedSpace(t)
+	if d.Audit() {
+		t.Fatal("pre-rewrite audit flagged")
+	}
+	// The legitimate rewrite: every monitored page changes once.
+	for p := 0; p < 32; p++ {
+		if _, err := s.Write(p, mem.Content(eng.RNG().Uint64()|1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Audit() {
+		t.Fatal("single benign rewrite flagged")
+	}
+	// The guest holds still afterwards: the suspect mark must clear and
+	// stay clear.
+	for i := 0; i < 5; i++ {
+		if d.Audit() {
+			t.Fatalf("audit %d after benign rewrite flagged", i)
+		}
+	}
+	if d.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0", d.Hits())
+	}
+}
+
+// TestInvariantSustainedTamperingFlagged: content that keeps changing
+// across consecutive audits — an attacker churning kernel pages — trips
+// the gate.
+func TestInvariantSustainedTamperingFlagged(t *testing.T) {
+	_, s, d := newAuditedSpace(t)
+	c := mem.Content(0x1234567)
+	tamper := func() {
+		c = c*6364136223846793005 + 1442695040888963407
+		if _, err := s.Write(3, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tamper()
+	if d.Audit() {
+		t.Fatal("first change flagged immediately (gate should tolerate one)")
+	}
+	tamper()
+	if !d.Audit() {
+		t.Fatal("second consecutive change not flagged")
+	}
+	if d.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", d.Hits())
+	}
+}
+
+// TestSkewDetectorFloorsAndFlags: the skew detector stays silent below the
+// evidence floor and flags deep-level exit volume above it.
+func TestSkewDetectorFloorsAndFlags(t *testing.T) {
+	eng := sim.NewEngine(1)
+	reg := telemetry.NewRegistry()
+	d := NewSkewDetector(reg)
+	d.MinExits = 1000
+
+	if flagged, _, _ := d.Scan(); flagged {
+		t.Fatal("empty registry flagged")
+	}
+
+	// An L2 vCPU doing real syscall work reports reflected exits.
+	v := cpu.NewVCPU(eng, cpu.DefaultModel(), cpu.L2)
+	v.SetTelemetry(reg)
+	v.Exec(cpu.SyscallOp("null-call", cpu.Nanos(150), 1, 0), 10)
+	if flagged, exits, _ := d.Scan(); flagged {
+		t.Fatalf("flagged below floor (%d exits)", exits)
+	}
+	v.Exec(cpu.SyscallOp("null-call", cpu.Nanos(150), 1, 0), 1000)
+	flagged, exits, ops := d.Scan()
+	if !flagged {
+		t.Fatalf("not flagged above floor (exits=%d ops=%d)", exits, ops)
+	}
+	if exits != 1010*uint64(1+cpu.DefaultModel().ExitMultiplier) {
+		t.Fatalf("exits = %d", exits)
+	}
+}

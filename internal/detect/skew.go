@@ -1,0 +1,55 @@
+package detect
+
+import (
+	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/telemetry"
+)
+
+// SkewDetector reads the host's exit-class telemetry (PR3's cpu_ops_total /
+// cpu_exits_total counters) and flags exit-class skew: real, L0-handled
+// exits that no first-level guest accounts for. Nested execution reflects
+// every L2+ exit through the intermediate hypervisor, so reflected-exit
+// volume attributed to deeper-than-L1 execution is exactly the signature a
+// perf-counter-watching admin would see as "this guest's exits don't match
+// its work". Its blind spot is sample size: an attacker whose captive guest
+// does little exit-generating work (dirty-rate shaping, an idle victim)
+// stays under the floor.
+type SkewDetector struct {
+	// Reg is the registry the host's vCPUs report into.
+	Reg *telemetry.Registry
+	// MinExits is the evidence floor: fewer reflected exits than this and
+	// the detector stays silent rather than flag noise.
+	MinExits uint64
+}
+
+// DefaultSkewMinExits is the evidence floor: below ~10k reflected exits
+// the skew is indistinguishable from device-model jitter.
+const DefaultSkewMinExits = 10_000
+
+// NewSkewDetector returns a skew detector over the given registry with the
+// default evidence floor.
+func NewSkewDetector(reg *telemetry.Registry) *SkewDetector {
+	return &SkewDetector{Reg: reg, MinExits: DefaultSkewMinExits}
+}
+
+// Scan sums ops and real exits attributed to deeper-than-L1 levels across
+// every operation class and reports whether the skew evidence clears the
+// floor, along with the totals it saw.
+func (d *SkewDetector) Scan() (flagged bool, deepExits, deepOps uint64) {
+	if d.Reg == nil {
+		return false, 0, 0
+	}
+	for _, lvl := range []cpu.Level{cpu.L2, cpu.L3} {
+		for _, c := range []cpu.Class{cpu.ClassALU, cpu.ClassSyscall, cpu.ClassIO} {
+			deepExits += d.Reg.Counter(telemetry.Key("cpu_exits_total",
+				"class", c.String(), "level", lvl.String())).Value()
+			deepOps += d.Reg.Counter(telemetry.Key("cpu_ops_total",
+				"class", c.String(), "level", lvl.String())).Value()
+		}
+	}
+	min := d.MinExits
+	if min == 0 {
+		min = DefaultSkewMinExits
+	}
+	return deepExits >= min, deepExits, deepOps
+}

@@ -40,6 +40,14 @@ var backendGoldenHashes = map[string]string{
 	"xen-haswell/fig4-migration/seed=1":  "52d0e0d4b45f944cf1d1997f1ce6003838e8a7d1b77a5e382306a4d4657ef38e",
 	"xen-haswell/fig4-migration/seed=7":  "277bc1dbd4b35e23a4f2d24542c7568c0ef7357bd440a1ef0f2599779ac1da38",
 
+	// whp-skylake diverges on every row: its noise (0.013) and
+	// zero-fraction (0.37) differ from all the other profiles, so both
+	// the migration path and the detection economics resample.
+	"whp-skylake/detect-infected/seed=1": "9c83784d3376963a5c5b37be8bdea03274f15d75fe15290cef9d762b46a49353",
+	"whp-skylake/detect-infected/seed=7": "728a74cccb2f87a517d0334aa089711547cf2f6c2aa0a143a31811731b9f605d",
+	"whp-skylake/fig4-migration/seed=1":  "dd0f43abfbcf3ef8ddef1825635d4b9360f9e2628c03c6d841b2b78105898671",
+	"whp-skylake/fig4-migration/seed=7":  "957731a4872faf9e9da5e274fab76538f8cad09956aacb359999a0c0e55539d9",
+
 	"hvf-m2/detect-infected/seed=1": "34392d046bd38ee81cde44da7135fb866b8570785461518ae70ca329da86c2eb",
 	"hvf-m2/detect-infected/seed=7": "049c9fc088cd0fd4592292d24ab1f3eab0d687049bcaa05a7c762241041284ad",
 	"hvf-m2/fig4-migration/seed=1":  "e9c88b489a25d842699e264a4cdc6e916ca01df474e2719bee8244b4bac4d6ff",

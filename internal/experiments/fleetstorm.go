@@ -71,11 +71,11 @@ func (r *FleetStormResult) Render() string {
 
 // stormCell is one run's raw measurements.
 type stormCell struct {
-	infected  int
-	detected  int
-	falsePos  int
-	moveSecs  []float64
-	retries   int
+	infected int
+	detected int
+	falsePos int
+	moveSecs []float64
+	retries  int
 }
 
 // FleetMigrationStorm sweeps fleet size × concurrent migrations ×

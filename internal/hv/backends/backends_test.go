@@ -60,6 +60,31 @@ func TestAlternatesDivergeFromEachOther(t *testing.T) {
 	}
 }
 
+// TestWHPSkylakeCalibration: the Hyper-V/WHP profile sits between the
+// design-space extremes — userspace-VMM exits costlier than KVM's
+// in-kernel handling but cheaper than HVF's full bounce, and a nested
+// multiplier between EPYC's shadowing-era single digits and the paper's
+// 18 (Hyper-V nests through Skylake VMCS shadowing, but less aggressively
+// than modern KVM).
+func TestWHPSkylakeCalibration(t *testing.T) {
+	whp, err := hv.Lookup("whp-skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := hv.Lookup(hv.DefaultName)
+	epyc, _ := hv.Lookup("kvm-epyc-7702")
+	m2, _ := hv.Lookup("hvf-m2")
+	if whp.Profile.CPU.ExitCost <= def.Profile.CPU.ExitCost || whp.Profile.CPU.ExitCost >= m2.Profile.CPU.ExitCost {
+		t.Errorf("whp exit cost %v should sit between KVM's %v and HVF's %v (partial userspace exit handling)",
+			whp.Profile.CPU.ExitCost, def.Profile.CPU.ExitCost, m2.Profile.CPU.ExitCost)
+	}
+	if whp.Profile.CPU.ExitMultiplier <= epyc.Profile.CPU.ExitMultiplier ||
+		whp.Profile.CPU.ExitMultiplier >= def.Profile.CPU.ExitMultiplier {
+		t.Errorf("whp multiplier %d should sit between epyc's %d and the paper's %d",
+			whp.Profile.CPU.ExitMultiplier, epyc.Profile.CPU.ExitMultiplier, def.Profile.CPU.ExitMultiplier)
+	}
+}
+
 // TestXenHaswellCalibration: the same-era Xen profile sits where the
 // history says it should — single exits in KVM's class (in-hypervisor
 // handling, unlike HVF's userspace bounce), but a *worse* exit

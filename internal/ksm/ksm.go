@@ -425,6 +425,26 @@ func (d *Daemon) PagesScanned() uint64 { return d.pagesScan }
 // therefore kept out of the unstable tree for that visit.
 func (d *Daemon) ChecksumSkips() uint64 { return d.checksumSkips }
 
+// GatedPages reports how many pages of the given registered space are
+// currently marked as having changed at their previous scan visit — the
+// population the volatility gate holds out of (or is about to hold out of)
+// the unstable tree. An attacker churning shared-candidate pages to dodge
+// dedup shows up here: evasion evidence the coverage matrix renders.
+// Returns 0 for an unregistered space.
+func (d *Daemon) GatedPages(s *mem.Space) int {
+	r := d.regionOf(s)
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range r.flags {
+		if f&flagChanged != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // SharedGroups returns the number of live (ref > 0) stable groups.
 func (d *Daemon) SharedGroups() int {
 	n := 0

@@ -29,7 +29,7 @@ var (
 	ErrNoSuchVM      = errors.New("kvm: no such vm")
 	ErrNotRunning    = errors.New("kvm: vm not running")
 	ErrNoKVM         = errors.New("kvm: guest launched without -enable-kvm")
-	ErrNestingDepth  = errors.New("kvm: nesting beyond L2 not supported")
+	ErrNestingDepth  = errors.New("kvm: nesting beyond L3 not supported")
 	ErrNoMonitorPort = errors.New("kvm: no vm exposes that monitor port")
 )
 
@@ -455,11 +455,13 @@ func (hv *Hypervisor) VMs() []*qemu.VM {
 	return out
 }
 
-// EnableNesting turns a running guest into an L1 hypervisor host: the
+// EnableNesting turns a running guest into a nested hypervisor host: the
 // returned Hypervisor creates VMs that run at the next level. The guest
 // must be running and have KVM enabled (nested virtualization requires the
-// kvm module inside the guest). Only one extra level is supported, which
-// is all the paper (and Linux of that era, practically) used.
+// kvm module inside the guest). Guests up to L3 are supported — the paper
+// (and Linux of that era, practically) stopped at L2; the extra level is
+// the deeper-nesting attacker strategy, paying compounded exit
+// multiplication for the extra indirection.
 func (hv *Hypervisor) EnableNesting(name string) (*Hypervisor, error) {
 	vm, ok := hv.vms[name]
 	if !ok {
@@ -471,7 +473,7 @@ func (hv *Hypervisor) EnableNesting(name string) (*Hypervisor, error) {
 	if !vm.Config().EnableKVM {
 		return nil, fmt.Errorf("%w: %q", ErrNoKVM, name)
 	}
-	if hv.GuestLevel() >= cpu.L2 {
+	if hv.GuestLevel() >= cpu.L3 {
 		return nil, fmt.Errorf("%w: guest of %v", ErrNestingDepth, hv.GuestLevel())
 	}
 	if inner, ok := hv.nested[name]; ok {

@@ -259,7 +259,22 @@ func TestNestingDepthLimit(t *testing.T) {
 	if err := inner.Launch("l2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inner.EnableNesting("l2"); !errors.Is(err, ErrNestingDepth) {
+	// L2 guests may host one more level (the deeper-nesting strategy)...
+	inner2, err := inner.EnableNesting("l2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inner2.GuestLevel(); got != cpu.L3 {
+		t.Fatalf("inner2 guest level = %v, want L3", got)
+	}
+	if _, err := inner2.CreateVM(smallCfg("l3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner2.Launch("l3"); err != nil {
+		t.Fatal(err)
+	}
+	// ...but the stack stops at L3.
+	if _, err := inner2.EnableNesting("l3"); !errors.Is(err, ErrNestingDepth) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -24,14 +24,23 @@ type Mix struct {
 	Snapshot int
 	List     int
 	Usage    int
+	// Cancel aims CancelJob at a previously accepted job. Most draws race
+	// the queue — the job may already be dispatched or terminal, which the
+	// plane reports as ErrJobNotCancellable — so a cancel-heavy mix is the
+	// job queue's race-path stress test.
+	Cancel int
 }
 
 // DefaultMix is cloud-shaped traffic: read-dominated, deploys a few
 // percent, migrations rare.
 var DefaultMix = Mix{Deploy: 5, Stop: 2, Migrate: 1, Snapshot: 2, List: 45, Usage: 45}
 
+// CancelHeavyMix is impatient-tenant traffic: every fourth call yanks a
+// submitted job back, racing the dispatcher for whatever is still queued.
+var CancelHeavyMix = Mix{Deploy: 20, Stop: 5, Migrate: 3, Snapshot: 5, List: 22, Usage: 20, Cancel: 25}
+
 func (m Mix) total() int {
-	return m.Deploy + m.Stop + m.Migrate + m.Snapshot + m.List + m.Usage
+	return m.Deploy + m.Stop + m.Migrate + m.Snapshot + m.List + m.Usage + m.Cancel
 }
 
 // Options shapes one load run.
@@ -68,8 +77,14 @@ type Stats struct {
 	AdmissionRejects int
 	OtherRejects     int
 
+	// CancelAttempts counts CancelJob calls; CancelRaces the attempts
+	// that lost the race to the dispatcher (or found nothing to cancel).
+	CancelAttempts int
+	CancelRaces    int
+
 	Succeeded int
 	Failed    int
+	Cancelled int
 	Retries   int
 
 	// VirtualTime is the engine clock when the run went quiet.
@@ -82,8 +97,9 @@ type gen struct {
 	o      Options
 	rng    *rand.Rand
 	stats  Stats
-	nextVM []int // per-tenant deploy counter (names never reused)
-	snaps  int   // global snapshot-name counter
+	nextVM []int    // per-tenant deploy counter (names never reused)
+	snaps  int      // global snapshot-name counter
+	jobIDs []string // accepted job IDs, in submission order (cancel targets)
 }
 
 // Run creates o.Tenants accounts on p, issues o.Ops API calls on an
@@ -144,6 +160,8 @@ func Run(p *controlplane.Plane, o Options) (Stats, error) {
 			g.stats.Succeeded++
 		case controlplane.JobFailed:
 			g.stats.Failed++
+		case controlplane.JobCancelled:
+			g.stats.Cancelled++
 		}
 	}
 	g.stats.VirtualTime = eng.Now()
@@ -178,6 +196,8 @@ func (g *gen) issue() {
 	case w < m.Deploy+m.Stop+m.Migrate+m.Snapshot+m.List:
 		g.stats.Reads++
 		_, _ = g.p.ListVMs(ten)
+	case w < m.Deploy+m.Stop+m.Migrate+m.Snapshot+m.List+m.Cancel:
+		g.cancel()
 	default:
 		g.stats.Reads++
 		_, _ = g.p.TenantUsage(ten)
@@ -219,13 +239,31 @@ func (g *gen) mutate(ti int, ten string, op controlplane.Op) {
 	g.submit(req)
 }
 
+// cancel aims CancelJob at a random previously accepted job. The draw
+// deliberately spans the job's whole history, so most attempts lose the
+// race — already dispatched, already terminal — and only a job still
+// sitting in the queue actually dies. Both outcomes are tallied; neither
+// is an error.
+func (g *gen) cancel() {
+	g.stats.CancelAttempts++
+	if len(g.jobIDs) == 0 {
+		g.stats.CancelRaces++
+		return
+	}
+	id := g.jobIDs[g.rng.Intn(len(g.jobIDs))]
+	if err := g.p.CancelJob(id); err != nil {
+		g.stats.CancelRaces++
+	}
+}
+
 // submit issues one mutation and classifies the outcome.
 func (g *gen) submit(req controlplane.Request) {
 	g.stats.Mutations++
-	_, err := g.p.Submit(req)
+	job, err := g.p.Submit(req)
 	switch {
 	case err == nil:
 		g.stats.Accepted++
+		g.jobIDs = append(g.jobIDs, job.ID)
 	case errors.Is(err, controlplane.ErrAdmission):
 		g.stats.AdmissionRejects++
 	case errors.Is(err, controlplane.ErrQuotaVMs),

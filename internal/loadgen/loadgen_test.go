@@ -7,6 +7,7 @@ import (
 
 	"cloudskulk/internal/controlplane"
 	"cloudskulk/internal/fleet"
+	"cloudskulk/internal/runner"
 )
 
 func newPlane(t *testing.T, seed int64) *controlplane.Plane {
@@ -30,14 +31,16 @@ func TestRunLedgerConsistency(t *testing.T) {
 	if stats.Issued != 2000 {
 		t.Fatalf("issued = %d", stats.Issued)
 	}
-	if stats.Mutations+stats.Reads != stats.Issued {
-		t.Fatalf("mutations %d + reads %d != issued %d", stats.Mutations, stats.Reads, stats.Issued)
+	if stats.Mutations+stats.Reads+stats.CancelAttempts != stats.Issued {
+		t.Fatalf("mutations %d + reads %d + cancels %d != issued %d",
+			stats.Mutations, stats.Reads, stats.CancelAttempts, stats.Issued)
 	}
 	if got := stats.Accepted + stats.QuotaRejects + stats.AdmissionRejects + stats.OtherRejects; got != stats.Mutations {
 		t.Fatalf("submit outcomes %d != mutations %d", got, stats.Mutations)
 	}
-	if stats.Succeeded+stats.Failed != stats.Accepted {
-		t.Fatalf("terminal jobs %d+%d != accepted %d", stats.Succeeded, stats.Failed, stats.Accepted)
+	if stats.Succeeded+stats.Failed+stats.Cancelled != stats.Accepted {
+		t.Fatalf("terminal jobs %d+%d+%d != accepted %d",
+			stats.Succeeded, stats.Failed, stats.Cancelled, stats.Accepted)
 	}
 	if stats.Accepted == 0 || stats.Reads == 0 {
 		t.Fatalf("degenerate run: %+v", stats)
@@ -152,6 +155,74 @@ func TestAdmissionPressure(t *testing.T) {
 	}
 	if stats.AdmissionRejects == 0 {
 		t.Fatalf("no admission rejects under a saturating deploy storm: %+v", stats)
+	}
+}
+
+// TestCancelHeavyLedger: under CancelHeavyMix some queued jobs actually
+// die, most cancel draws lose the race to the dispatcher, and the ledger
+// still adds up exactly.
+func TestCancelHeavyLedger(t *testing.T) {
+	f, err := fleet.New(5, fleet.WithHosts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := controlplane.New(f, controlplane.Config{
+		MaxQueue: 16, Slots: 2, DispatchLatency: 5 * time.Millisecond,
+	})
+	stats, err := Run(p, Options{Tenants: 12, Ops: 3000, Seed: 5, Mix: CancelHeavyMix, MeanGap: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CancelAttempts == 0 || stats.Cancelled == 0 {
+		t.Fatalf("cancel-heavy mix produced no cancellations: %+v", stats)
+	}
+	if stats.CancelRaces == 0 {
+		t.Fatalf("every cancel draw won the race — the draw is not racing the queue: %+v", stats)
+	}
+	if stats.Mutations+stats.Reads+stats.CancelAttempts != stats.Issued {
+		t.Fatalf("issued %d not fully accounted: %+v", stats.Issued, stats)
+	}
+	if stats.Succeeded+stats.Failed+stats.Cancelled != stats.Accepted {
+		t.Fatalf("terminal jobs %d+%d+%d != accepted %d",
+			stats.Succeeded, stats.Failed, stats.Cancelled, stats.Accepted)
+	}
+}
+
+// TestCancelRacesDeterministicAcrossWorkers: cancel-heavy cells replay
+// byte-identically whether the sweep runs serially or on 8 workers — the
+// CancelJob race is a virtual-time race, decided by the seed, not by
+// host-side scheduling.
+func TestCancelRacesDeterministicAcrossWorkers(t *testing.T) {
+	sweep := func(workers int) []Stats {
+		out, err := runner.Map(6, runner.Options{Workers: workers}, func(i int) (Stats, error) {
+			f, err := fleet.New(int64(i+1), fleet.WithHosts(4))
+			if err != nil {
+				return Stats{}, err
+			}
+			p := controlplane.New(f, controlplane.Config{
+				MaxQueue: 8, Slots: 2, DispatchLatency: 5 * time.Millisecond,
+			})
+			return Run(p, Options{
+				Tenants: 8, Ops: 1200, Seed: int64(100 + i),
+				Mix: CancelHeavyMix, MeanGap: time.Millisecond,
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, wide := sweep(1), sweep(8)
+	cancelled := 0
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Errorf("cell %d diverged across worker counts:\nworkers=1: %+v\nworkers=8: %+v",
+				i, serial[i], wide[i])
+		}
+		cancelled += serial[i].Cancelled
+	}
+	if cancelled == 0 {
+		t.Error("no cell cancelled anything — the race path went unexercised")
 	}
 }
 

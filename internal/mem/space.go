@@ -358,6 +358,32 @@ func pageSig(p int, c Content) uint64 {
 	return x ^ x>>31
 }
 
+// RangeHash digests the logical contents of pages [from, from+n), resolving
+// shared frames and clamping the range to the space. It is the primitive an
+// invariant-checksum detector audits pinned regions with: equal logical
+// contents of the range guarantee equal hashes, and — unlike Fingerprint —
+// it composes with the per-page pageSig the full-space ContentHash uses, so
+// a range covering the whole space reproduces ContentHash exactly.
+func (s *Space) RangeHash(from, n int) uint64 {
+	if from < 0 {
+		n += from
+		from = 0
+	}
+	if from+n > len(s.pages) {
+		n = len(s.pages) - from
+	}
+	h := uint64(0)
+	for p := from; p < from+n; p++ {
+		pg := &s.pages[p]
+		c := pg.content
+		if pg.shared != nil {
+			c = pg.shared.Content
+		}
+		h ^= pageSig(p, c)
+	}
+	return h
+}
+
 // ContentHash returns the space's incrementally-maintained content digest.
 // Equal logical contents guarantee equal hashes; differing hashes guarantee
 // differing contents. Hash equality alone does not prove content equality

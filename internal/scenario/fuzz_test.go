@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzStrategySpec throws arbitrary wire forms at the spec parser. The
+// invariants: Parse never panics; anything it accepts re-renders to a
+// canonical form that parses back to the identical Spec (replay
+// determinism — the wire form IS the strategy); and every accepted spec
+// validates.
+func FuzzStrategySpec(f *testing.F) {
+	for _, s := range Generate(1, 8) {
+		f.Add(s.Render())
+	}
+	f.Add("kind=baseline")
+	f.Add("kind=evade-ksm churn=80ms scope=shared-kernel")
+	f.Add("kind=nest-deep depth=3 ops=8000")
+	f.Add("kind=baseline install=1s install=2s")
+	f.Add("kind=\x00 ops=9999999999999999999")
+	f.Add(strings.Repeat("kind=baseline ", 100))
+	f.Fuzz(func(t *testing.T, wire string) {
+		s, err := Parse(wire)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec: %v", wire, verr)
+		}
+		canon := s.Render()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not parse: %v", canon, wire, err)
+		}
+		if s2 != s {
+			t.Fatalf("replay mismatch: %q -> %+v, canonical %q -> %+v", wire, s, canon, s2)
+		}
+		if s2.Render() != canon {
+			t.Fatalf("canonical form not a fixed point: %q vs %q", s2.Render(), canon)
+		}
+	})
+}

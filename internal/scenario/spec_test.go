@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecRoundTrip: Parse(Render(s)) == s for hand-built and generated
+// specs — the replayability contract.
+func TestSpecRoundTrip(t *testing.T) {
+	hand := []Spec{
+		{Kind: KindBaseline, Ops: 2000, Depth: 2},
+		{Kind: KindEvadeKSM, Install: 250 * time.Millisecond, Churn: 80 * time.Millisecond,
+			Scope: ScopeSharedAll, Ops: 4000, Depth: 2},
+		{Kind: KindShapeDirty, Install: time.Second, DirtyPPS: 800, Ops: 100, Depth: 2},
+		{Kind: KindNestDeep, Ops: 8000, Depth: 3},
+	}
+	specs := append(hand, Generate(42, 20)...)
+	for _, s := range specs {
+		got, err := Parse(s.Render())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.Render(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip: %q -> %+v, want %+v", s.Render(), got, s)
+		}
+	}
+}
+
+// TestSpecParseDefaults: only kind is required; depth defaults to 2.
+func TestSpecParseDefaults(t *testing.T) {
+	s, err := Parse("kind=baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth != 2 || s.Kind != KindBaseline {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+// TestSpecParseRejects: malformed wire forms and out-of-space parameters
+// all fail with ErrBadSpec.
+func TestSpecParseRejects(t *testing.T) {
+	bad := []string{
+		"",                                     // missing kind
+		"install=1s",                           // missing kind
+		"kind=warp-drive",                      // unknown kind
+		"kind=baseline frobnicate=1",           // unknown field
+		"kind=baseline ops",                    // not key=value
+		"kind=baseline kind=baseline",          // duplicate field
+		"kind=baseline ops=zebra",              // bad int
+		"kind=baseline install=later",          // bad duration
+		"kind=baseline install=-5s",            // negative delay
+		"kind=baseline install=2m",             // delay beyond space
+		"kind=baseline ops=2000000",            // ops beyond space
+		"kind=baseline depth=4",                // depth beyond space
+		"kind=baseline depth=3",                // depth 3 without nest-deep
+		"kind=nest-deep depth=2",               // nest-deep must be depth 3
+		"kind=evade-ksm",                       // evasion without churn/scope
+		"kind=evade-ksm churn=80ms",            // evasion without scope
+		"kind=baseline churn=80ms",             // churn outside evade-ksm
+		"kind=baseline scope=shared-all",       // scope outside evade-ksm
+		"kind=evade-ksm churn=80ms scope=wide", // unknown scope
+		"kind=shape-dirty",                     // shaping without rate
+		"kind=baseline dirty=400",              // rate outside shape-dirty
+	}
+	for _, wire := range bad {
+		if _, err := Parse(wire); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Parse(%q) err = %v, want ErrBadSpec", wire, err)
+		}
+	}
+}
+
+// TestGenerateDeterministicAndCovering: the same seed draws the same
+// strategies, every draw validates, and the first len(Kinds) entries cover
+// every kind with the lead evade-ksm churning all shared regions.
+func TestGenerateDeterministicAndCovering(t *testing.T) {
+	a, b := Generate(7, 12), Generate(7, 12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	seen := map[Kind]bool{}
+	for i, s := range a {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v", i, err)
+		}
+		if i < len(Kinds) {
+			seen[s.Kind] = true
+		}
+	}
+	for _, k := range Kinds {
+		if !seen[k] {
+			t.Errorf("kind %s missing from the covering prefix", k)
+		}
+	}
+	if a[1].Kind != KindEvadeKSM || a[1].Scope != ScopeSharedAll {
+		t.Errorf("lead evade-ksm draw = %+v, want scope=shared-all", a[1])
+	}
+	if Generate(8, 12)[4] == a[4] && Generate(8, 12)[5] == a[5] {
+		t.Error("different seeds drew identical random tails")
+	}
+}
+
+// TestRenderSpecs: sorted, one wire form per line, parseable back.
+func TestRenderSpecs(t *testing.T) {
+	out := RenderSpecs(Generate(3, 6))
+	lines := strings.Split(out, "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, ln := range lines {
+		if i > 0 && lines[i-1] > ln {
+			t.Errorf("line %d out of order", i)
+		}
+		if _, err := Parse(ln); err != nil {
+			t.Errorf("line %q does not parse: %v", ln, err)
+		}
+	}
+}
