@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends bench-cloudload bench-armsrace fleet-bench experiments clean
+.PHONY: all build test race vet lint check cover fuzz-smoke bench bench-smoke bench-json bench-check bench-backends bench-cloudload bench-armsrace bench-scale fleet-bench experiments clean
 
 # The headline benchmarks tracked across PRs (BENCH_*.json at the repo root).
 BENCH_PATTERN = BenchmarkFleetMigrationStorm|BenchmarkFigure5DetectNoNested|BenchmarkFigure6DetectNested
@@ -72,6 +72,15 @@ bench-cloudload:
 	$(GO) test -run='^$$' -bench='^BenchmarkCloudLoad$$' -benchmem -benchtime=3x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_CLOUDLOAD.json
 	@echo wrote BENCH_CLOUDLOAD.json
+
+# The sharded-world scaling run as structured JSON: per-host step cost
+# at 8/128/1024 hosts (the ≥0.8x efficiency claim) and the O(1)
+# template-fork cost at 64MB-1GB guest images land in BENCH_SCALE.json.
+# Committed, not gitignored: the scaling curve is a tracked artefact.
+bench-scale:
+	$(GO) test -run='^$$' -bench='^BenchmarkShardScale$$|^BenchmarkSpawnFrom$$' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_SCALE.json
+	@echo wrote BENCH_SCALE.json
 
 # The strategy × detector × backend coverage matrix as structured JSON:
 # the overall catch rate and the count of dedup-evading strategies the

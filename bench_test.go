@@ -2,12 +2,14 @@ package cloudskulk_test
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
 
 	"cloudskulk"
 	"cloudskulk/internal/cpu"
+	"cloudskulk/internal/mem"
 )
 
 // Each benchmark regenerates one of the paper's tables or figures at the
@@ -509,6 +511,61 @@ func BenchmarkSweepWorkers(b *testing.B) {
 				o.Workers = workers
 				if _, err := cloudskulk.Figure4Migration(o); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardScale runs the sharded-cloud megastorm at 8, 128, and
+// 1,024 hosts (shard count scales, per-shard size stays fixed) and
+// reports ns of wall clock per simulated host. Conservative
+// synchronization keeps per-host cost near-flat as the world grows two
+// orders of magnitude — the scaling claim BENCH_SCALE.json records.
+func BenchmarkShardScale(b *testing.B) {
+	for _, shards := range []int{2, 32, 256} {
+		hosts := shards * 4
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			cfg := cloudskulk.MegaStormConfig{
+				Shards:             shards,
+				HostsPerShard:      4,
+				GuestsPerHost:      16,
+				GuestMemMB:         16,
+				MigrationsPerShard: 2,
+				TampersPerShard:    2,
+				BurstPages:         8,
+			}
+			for i := 0; i < b.N; i++ {
+				o := benchOptions(i)
+				r, err := cloudskulk.MegaStorm(o, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.MissedTampers != 0 || r.FalseFlags != 0 {
+					b.Fatalf("audit not exact: %+v", r)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hosts), "ns/host")
+			b.ReportMetric(float64(16*hosts), "guests")
+		})
+	}
+}
+
+// BenchmarkSpawnFrom forks guests copy-on-write from golden images of
+// increasing size. ns/op staying flat from 64 MB to 1 GB is the O(1)
+// golden-boot claim: a fork shares all page state with the template and
+// allocates only fixed-size bookkeeping.
+func BenchmarkSpawnFrom(b *testing.B) {
+	for _, memMB := range []int64{64, 256, 1024} {
+		b.Run(fmt.Sprintf("memMB=%d", memMB), func(b *testing.B) {
+			src := mem.NewSpace("golden", memMB<<20)
+			src.FillRandom(rand.New(rand.NewSource(1)), 0.25)
+			tmpl := mem.Freeze("golden", src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := mem.SpawnFrom("fork", tmpl)
+				if sp.ContentHash() != tmpl.ContentHash() {
+					b.Fatal("fork hash mismatch")
 				}
 			}
 		})

@@ -63,6 +63,7 @@ var simFacing = []string{
 	"internal/detect", "internal/workload", "internal/runner",
 	"internal/hv", "internal/hv/backends",
 	"internal/controlplane", "internal/loadgen", "internal/scenario",
+	"internal/shard",
 }
 
 // concurrencyExempt lists the only packages allowed to spawn goroutines

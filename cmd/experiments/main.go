@@ -7,8 +7,8 @@
 //	            [-backend name]
 //
 // Artefacts: table1, fig2, fig3, fig4, table2, table3, table4, fig5, fig6,
-// baselines, armsrace-matrix, fleetstorm, cloudload, ablations. Default
-// runs all of them.
+// baselines, armsrace-matrix, fleetstorm, cloudload, megastorm,
+// ablations. Default runs all of them.
 //
 // -backend selects the hypervisor cost profile every testbed is built on
 // (default: the paper's kvm-i7-4790 calibration); every artefact runs
@@ -191,6 +191,17 @@ func run(args []string) error {
 				cfg = cloudskulk.QuickCloudLoadConfig()
 			}
 			r, err := cloudskulk.CloudLoad(o, cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"megastorm", func() (string, error) {
+			cfg := cloudskulk.DefaultMegaStormConfig()
+			if *scale == "quick" {
+				cfg = cloudskulk.QuickMegaStormConfig()
+			}
+			r, err := cloudskulk.MegaStorm(o, cfg)
 			if err != nil {
 				return "", err
 			}

@@ -29,6 +29,9 @@ cp usage acme
 cp jobs
 scenario strategies 4
 scenario detectors
+shard info
+shard spawn 32
+shard megastorm
 stats
 trace
 `

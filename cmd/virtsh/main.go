@@ -59,14 +59,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
 	"cloudskulk/internal/controlplane"
+	"cloudskulk/internal/experiments"
 	"cloudskulk/internal/fleet"
 	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 	"cloudskulk/internal/scenario"
 	"cloudskulk/internal/sim"
@@ -99,6 +102,9 @@ var sessionCommands = []struct{ usage, desc string }{
 	{"scenario strategies [n]", "generate n seeded attacker strategies in wire form (default 5)"},
 	{"scenario detectors", "list the detector roster the arms-race matrix runs"},
 	{"scenario matrix", "strategies x detectors coverage matrix on this session's backend"},
+	{"shard info", "sharded-world sizes and synchronization parameters"},
+	{"shard spawn <memMB>", "fork a guest from a golden image and show the COW bookkeeping"},
+	{"shard megastorm", "quick sharded-cloud run: provision, churn, migrate, audit"},
 	{"quit", "end the session (also: exit)"},
 }
 
@@ -221,6 +227,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		default:
 			out, handled, err = scenarioExecute(*seed, backend.Name, line)
 			if !handled {
+				out, handled, err = shardExecute(*seed, backend.Name, line)
+			}
+			if !handled {
 				out, handled, err = fleetExecute(fl, line)
 			}
 			if !handled {
@@ -312,6 +321,61 @@ func scenarioExecute(seed int64, backend, line string) (out string, handled bool
 		return r.Render(), true, nil
 	}
 	return "", true, fmt.Errorf("unknown scenario command %q", line)
+}
+
+// shardExecute intercepts `shard ...` commands — the sharded-world and
+// copy-on-write golden-image surface. Everything here is a pure function
+// of the session seed and backend: `info` prints the grid sizes, `spawn`
+// demonstrates the COW fork bookkeeping on a golden image, and
+// `megastorm` runs the quick-scale sharded cloud end to end.
+func shardExecute(seed int64, backend, line string) (out string, handled bool, err error) {
+	f := strings.Fields(line)
+	if f[0] != "shard" {
+		return "", false, nil
+	}
+	switch {
+	case len(f) == 2 && f[1] == "info":
+		var b strings.Builder
+		render := func(label string, c experiments.MegaStormConfig) {
+			fmt.Fprintf(&b, "%s: %d shards x %d hosts x %d guests = %d guests on %d hosts, %d MB golden image\n",
+				label, c.Shards, c.HostsPerShard, c.GuestsPerHost,
+				c.Shards*c.HostsPerShard*c.GuestsPerHost, c.Shards*c.HostsPerShard, c.GuestMemMB)
+		}
+		render("quick", experiments.QuickMegaStormConfig())
+		render("full ", experiments.DefaultMegaStormConfig())
+		b.WriteString("sync: conservative rounds, lookahead = inter-shard link latency (2ms),\n")
+		b.WriteString("      exchange order (At, From, Seq) — artefacts byte-identical at any worker count\n")
+		return b.String(), true, nil
+	case len(f) == 3 && f[1] == "spawn":
+		memMB, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil || memMB <= 0 || memMB > 4096 {
+			return "", true, fmt.Errorf("shard spawn: memMB must be in 1..4096, got %q", f[2])
+		}
+		golden := mem.NewSpace("golden", memMB<<20)
+		golden.FillRandom(rand.New(rand.NewSource(seed)), 0.25)
+		tmpl := mem.Freeze("golden", golden)
+		fork := mem.SpawnFrom("guest", tmpl)
+		var b strings.Builder
+		fmt.Fprintf(&b, "template: %d pages, hash %016x\n", tmpl.NumPages(), tmpl.ContentHash())
+		fmt.Fprintf(&b, "fork:     shares all pages, hash %016x, materialized chunks %d\n",
+			fork.ContentHash(), fork.MaterializedChunks())
+		if _, err := fork.Write(0, 0xC0FFEE); err != nil {
+			return "", true, err
+		}
+		copies := fork.ForkStats()
+		fmt.Fprintf(&b, "write(0): hash %016x, materialized chunks %d (copied %d)\n",
+			fork.ContentHash(), fork.MaterializedChunks(), copies)
+		fmt.Fprintf(&b, "template: untouched, hash %016x, %d spawns\n", tmpl.ContentHash(), tmpl.Spawns())
+		return b.String(), true, nil
+	case len(f) == 2 && f[1] == "megastorm":
+		r, err := experiments.MegaStorm(experiments.Options{Seed: seed, Backend: backend, Workers: 1},
+			experiments.QuickMegaStormConfig())
+		if err != nil {
+			return "", true, err
+		}
+		return r.Render(), true, nil
+	}
+	return "", true, fmt.Errorf("unknown shard command %q", line)
 }
 
 // planeExecute intercepts control-plane session commands (`tenant ...`

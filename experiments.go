@@ -189,6 +189,32 @@ func CloudLoad(o ExperimentOptions, cfg CloudLoadConfig) (*CloudLoadResult, erro
 	return experiments.CloudLoad(o, cfg)
 }
 
+// Sharded-cloud scale experiment.
+type (
+	// MegaStormConfig sizes the sharded grid (shards, hosts, guests,
+	// golden-image size, churn volume); zero fields take the defaults.
+	MegaStormConfig = experiments.MegaStormConfig
+	// MegaStormResult is the scale run's deterministic ledger.
+	MegaStormResult = experiments.MegaStormResult
+)
+
+// DefaultMegaStormConfig is the headline scale: 102,400 guests on 1,024
+// hosts across 64 shards, every guest a copy-on-write fork of a 128 MB
+// golden image.
+func DefaultMegaStormConfig() MegaStormConfig { return experiments.DefaultMegaStormConfig() }
+
+// QuickMegaStormConfig is a sub-second configuration for smoke runs.
+func QuickMegaStormConfig() MegaStormConfig { return experiments.QuickMegaStormConfig() }
+
+// MegaStorm provisions the sharded grid through per-shard control
+// planes, runs a churn phase of write bursts, kernel tampering, and
+// cross-shard delta migrations under conservative synchronization, then
+// audits every guest kernel against the golden image. The artefact is
+// byte-identical at any worker count.
+func MegaStorm(o ExperimentOptions, cfg MegaStormConfig) (*MegaStormResult, error) {
+	return experiments.MegaStorm(o, cfg)
+}
+
 // FleetMigrationStorm sweeps fleet size × concurrent migrations ×
 // infected fraction: each cell quarantines its suspects onto trusted
 // hosts under link contention, then sweeps the whole fleet with the

@@ -297,7 +297,12 @@ func (p *Plane) perform(job *Job) error {
 		if err != nil {
 			return err
 		}
-		if _, err := p.f.StartGuest(host, gname, req.MemMB); err != nil {
+		if p.tmpl != nil && p.tmpl.SizeBytes()>>20 == req.MemMB {
+			// Golden-image deploy: fork the template copy-on-write.
+			if _, err := p.f.StartGuestFrom(host, gname, p.tmpl); err != nil {
+				return err
+			}
+		} else if _, err := p.f.StartGuest(host, gname, req.MemMB); err != nil {
 			return err
 		}
 		job.Host = host

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudskulk/internal/fleet"
+	"cloudskulk/internal/mem"
 	"cloudskulk/internal/sim"
 	"cloudskulk/internal/telemetry"
 )
@@ -116,6 +117,12 @@ type Config struct {
 	// Retry overrides the fleet's retry policy for transient job
 	// failures. Zero value means "inherit from the fleet".
 	Retry fleet.RetryPolicy
+	// Template, when set, backs every deploy with a frozen golden memory
+	// image: guests whose requested memory matches the template's size
+	// fork it copy-on-write (fleet.StartGuestFrom) instead of populating
+	// fresh RAM, making deploy cost independent of guest memory size.
+	// Differently-sized requests fall back to the cold-boot path.
+	Template *mem.Template
 }
 
 // Plane is the management API over one fleet. Not safe for concurrent
@@ -130,6 +137,7 @@ type Plane struct {
 	slots    int
 	dispatch time.Duration
 	retry    fleet.RetryPolicy
+	tmpl     *mem.Template
 
 	tenants map[string]*tenant
 
@@ -168,6 +176,7 @@ func New(f *fleet.Fleet, cfg Config) *Plane {
 		slots:    cfg.Slots,
 		dispatch: cfg.DispatchLatency,
 		retry:    cfg.Retry,
+		tmpl:     cfg.Template,
 		tenants:  make(map[string]*tenant),
 		jobs:     make(map[string]*Job),
 	}

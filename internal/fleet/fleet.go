@@ -15,6 +15,7 @@ import (
 
 	"cloudskulk/internal/hv"
 	"cloudskulk/internal/kvm"
+	"cloudskulk/internal/mem"
 	"cloudskulk/internal/migrate"
 
 	// Make every built-in backend resolvable through WithBackend /
@@ -90,6 +91,7 @@ type config struct {
 	hostBackends map[string]string
 	tele         *telemetry.Registry
 	teleSet      bool
+	eng          *sim.Engine
 }
 
 // Option configures New.
@@ -147,6 +149,14 @@ func WithHostBackend(host, name string) Option {
 	}
 }
 
+// WithEngine runs the fleet on a caller-owned simulation engine instead of
+// a freshly seeded private one (the seed argument to New is then unused).
+// The shard layer uses this to give every shard's fleet that shard's
+// engine, so one engine drives exactly one shard's virtual clock.
+func WithEngine(eng *sim.Engine) Option {
+	return func(c *config) { c.eng = eng }
+}
+
 // WithTelemetry injects a metrics registry — typically one shared across
 // an experiment sweep's cells, whose counter sums stay deterministic for
 // any worker count. Passing nil disables metrics entirely. Without this
@@ -177,8 +187,9 @@ type Fleet struct {
 	order []string // host names, sorted
 
 	guests  map[string]*guest
-	nextIdx int // fleet-wide guest counter (port layout)
-	gen     int // migration generation counter (instance names, ports)
+	usedMB  map[string]int64 // per-host placed-guest memory (FreeMemMB in O(1))
+	nextIdx int              // fleet-wide guest counter (port layout)
+	gen     int              // migration generation counter (instance names, ports)
 
 	retry RetryPolicy
 
@@ -237,7 +248,10 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 		}
 	}
 
-	eng := sim.NewEngine(seed)
+	eng := c.eng
+	if eng == nil {
+		eng = sim.NewEngine(seed)
+	}
 	network := vnet.New(eng)
 	mig := migrate.NewEngine(eng, network)
 	tele := c.tele
@@ -256,6 +270,7 @@ func New(seed int64, opts ...Option) (*Fleet, error) {
 		hosts:  make(map[string]*kvm.Host, len(c.hosts)),
 		specs:  make(map[string]HostSpec, len(c.hosts)),
 		guests: make(map[string]*guest),
+		usedMB: make(map[string]int64, len(c.hosts)),
 		retry:  RetryPolicy{Attempts: c.retries, Backoff: c.backoff},
 		tele:   tele,
 		spans:  spans,
@@ -362,15 +377,13 @@ func (f *Fleet) GuestsOn(host string) []string {
 }
 
 // FreeMemMB returns a host's guest-memory budget minus the logical
-// footprint of the guests placed on it.
+// footprint of the guests placed on it. The footprint is a running
+// per-host counter maintained at placement, stop, and migration — not a
+// scan of the registry — because the placement scheduler calls this per
+// candidate host per decision, which at megastorm scale (100k deploys)
+// made provisioning quadratic in the guest count.
 func (f *Fleet) FreeMemMB(host string) int64 {
-	free := f.specs[host].MemMB
-	for _, g := range f.guests {
-		if g.host == host {
-			free -= g.memMB
-		}
-	}
-	return free
+	return f.specs[host].MemMB - f.usedMB[host]
 }
 
 // StartGuest creates and boots a guest on the named host, assigning it a
@@ -382,6 +395,22 @@ func (f *Fleet) FreeMemMB(host string) int64 {
 // hypervisor- or fabric-level collision from whichever host it happens
 // to clash on.
 func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
+	return f.startGuest(host, name, memMB, nil)
+}
+
+// StartGuestFrom creates and boots a guest forked copy-on-write from a
+// frozen golden memory image (mem.Freeze). The guest's memory size is the
+// template's; creation and boot cost O(1) in that size — the fork shares
+// page state with the template until first write. This is the mass-
+// provisioning path the megastorm experiment exercises at 100k guests.
+func (f *Fleet) StartGuestFrom(host, name string, tmpl *mem.Template) (*qemu.VM, error) {
+	if tmpl == nil {
+		return nil, fmt.Errorf("fleet: guest %q: nil template", name)
+	}
+	return f.startGuest(host, name, tmpl.SizeBytes()>>20, tmpl)
+}
+
+func (f *Fleet) startGuest(host, name string, memMB int64, tmpl *mem.Template) (*qemu.VM, error) {
 	hv, err := f.Host(host)
 	if err != nil {
 		return nil, err
@@ -404,6 +433,7 @@ func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
 	idx := f.nextIdx
 	cfg := qemu.DefaultConfig(name)
 	cfg.MemoryMB = memMB
+	cfg.MemTemplate = tmpl
 	cfg.MonitorPort = monitorBasePort + idx
 	cfg.QMPPort = qmpBasePort + idx
 	servicePort := serviceBasePort + idx
@@ -417,6 +447,7 @@ func (f *Fleet) StartGuest(host, name string, memMB int64) (*qemu.VM, error) {
 	}
 	f.nextIdx++
 	f.guests[name] = &guest{name: name, host: host, memMB: memMB, servicePort: servicePort}
+	f.usedMB[host] += memMB
 	f.tele.Counter("fleet_placements_total").Inc()
 	return vm, nil
 }
@@ -438,6 +469,7 @@ func (f *Fleet) StopGuest(name string) error {
 		return err
 	}
 	delete(f.guests, name)
+	f.usedMB[g.host] -= g.memMB
 	f.tele.Counter("fleet_stops_total").Inc()
 	return nil
 }

@@ -178,7 +178,9 @@ func (f *Fleet) MigrateVM(guestName, dstName string) (rep MoveReport, err error)
 	if err := srcHV.Kill(info.Outer.Name()); err != nil {
 		return rep, err
 	}
+	f.usedMB[g.host] -= g.memMB
 	g.host = dstName
+	f.usedMB[g.host] += g.memMB
 	rep.Duration = f.eng.Now() - start
 	return rep, nil
 }

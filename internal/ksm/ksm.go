@@ -82,9 +82,21 @@ type region struct {
 	next  int // scan cursor within the region
 
 	// sums[i] is page i's content at its previous scan visit — the
-	// model's stand-in for ksmd's per-rmap_item checksum.
+	// model's stand-in for ksmd's per-rmap_item checksum. Allocated
+	// lazily on the first scan visit, so registering a space — which
+	// kvm does for every guest at CreateVM — stays O(1): a fleet of
+	// 100k template-forked guests costs nothing here until ksmd
+	// actually walks their pages.
 	sums  []mem.Content
 	flags []uint8
+}
+
+// ensure allocates the per-page scan bookkeeping on first use.
+func (r *region) ensure() {
+	if r.sums == nil {
+		r.sums = make([]mem.Content, r.space.NumPages())
+		r.flags = make([]uint8, r.space.NumPages())
+	}
 }
 
 // Daemon is the samepage-merging scanner.
@@ -166,11 +178,7 @@ func (d *Daemon) Register(s *mem.Space) {
 			return
 		}
 	}
-	d.regions = append(d.regions, &region{
-		space: s,
-		sums:  make([]mem.Content, s.NumPages()),
-		flags: make([]uint8, s.NumPages()),
-	})
+	d.regions = append(d.regions, &region{space: s})
 }
 
 // Unregister removes a space from the scan set (the space's pages keep any
@@ -320,6 +328,7 @@ func (d *Daemon) clearSelfCand(s *mem.Space, page int) {
 // lookups outright (nothing about their entry can have changed without a
 // merge or a write, both of which clear the mark).
 func (d *Daemon) examine(r *region, page int) bool {
+	r.ensure()
 	s := r.space
 	content, shared, volatile := s.PageInfo(page)
 	if volatile {

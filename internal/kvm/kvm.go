@@ -242,6 +242,10 @@ func (hv *Hypervisor) CreateVM(cfg qemu.Config) (*qemu.VM, error) {
 	if _, exists := hv.vms[cfg.Name]; exists {
 		return nil, fmt.Errorf("%w: %q", ErrVMExists, cfg.Name)
 	}
+	if cfg.MemTemplate != nil && cfg.MemTemplate.SizeBytes() != cfg.MemoryMB<<20 {
+		return nil, fmt.Errorf("kvm: create vm %q: template %q holds %d MB, config wants %d MB",
+			cfg.Name, cfg.MemTemplate.Name(), cfg.MemTemplate.SizeBytes()>>20, cfg.MemoryMB)
+	}
 	// Nested guests live in their host guest's network namespace, so
 	// their endpoints are scoped by it. This is also what lets the
 	// attacker give the nested VM the *same name* as the victim.

@@ -5,20 +5,30 @@ import "math/bits"
 // Bitmap is a fixed-size bitset used for per-page dirty tracking. Live
 // migration's pre-copy loop repeatedly harvests and clears it, so the
 // operations are kept allocation-free.
+//
+// The word array is allocated lazily on the first Set/SetAll: an all-clear
+// bitmap carries no storage, which is what keeps SpawnFrom — whose forked
+// spaces start with an empty dirty log — O(1) in both time and bytes
+// regardless of how much guest memory the bitmap covers.
 type Bitmap struct {
 	words []uint64
 	n     int
 	set   int
 }
 
-// NewBitmap returns a bitmap of n bits, all clear.
+// NewBitmap returns a bitmap of n bits, all clear. No word storage is
+// allocated until a bit is first set.
 func NewBitmap(n int) *Bitmap {
 	if n < 0 {
 		n = 0
 	}
-	return &Bitmap{
-		words: make([]uint64, (n+63)/64),
-		n:     n,
+	return &Bitmap{n: n}
+}
+
+// ensure allocates the word array on first use.
+func (b *Bitmap) ensure() {
+	if b.words == nil && b.n > 0 {
+		b.words = make([]uint64, (b.n+63)/64)
 	}
 }
 
@@ -30,7 +40,7 @@ func (b *Bitmap) Count() int { return b.set }
 
 // Test reports whether bit i is set. Out-of-range bits read as clear.
 func (b *Bitmap) Test(i int) bool {
-	if i < 0 || i >= b.n {
+	if i < 0 || i >= b.n || b.words == nil {
 		return false
 	}
 	return b.words[i/64]&(1<<(uint(i)%64)) != 0
@@ -41,6 +51,7 @@ func (b *Bitmap) Set(i int) {
 	if i < 0 || i >= b.n {
 		return
 	}
+	b.ensure()
 	w, m := i/64, uint64(1)<<(uint(i)%64)
 	if b.words[w]&m == 0 {
 		b.words[w] |= m
@@ -50,7 +61,7 @@ func (b *Bitmap) Set(i int) {
 
 // Clear clears bit i. Out-of-range indices are ignored.
 func (b *Bitmap) Clear(i int) {
-	if i < 0 || i >= b.n {
+	if i < 0 || i >= b.n || b.words == nil {
 		return
 	}
 	w, m := i/64, uint64(1)<<(uint(i)%64)
@@ -73,6 +84,7 @@ func (b *Bitmap) SetAll() {
 	if b.n == 0 {
 		return
 	}
+	b.ensure()
 	for i := range b.words {
 		b.words[i] = ^uint64(0)
 	}
@@ -89,7 +101,7 @@ func (b *Bitmap) NextSetFrom(i int) int {
 	if i < 0 {
 		i = 0
 	}
-	if i >= b.n {
+	if i >= b.n || b.words == nil {
 		return -1
 	}
 	wi := i / 64

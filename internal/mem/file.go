@@ -75,13 +75,13 @@ func (f *File) SizeBytes() int64 { return int64(len(f.Pages)) * PageSize }
 // cache is not guest write traffic for migration purposes). It returns an
 // error if the file does not fit.
 func (s *Space) LoadFile(f *File, at int) error {
-	if at < 0 || at+len(f.Pages) > len(s.pages) {
+	if at < 0 || at+len(f.Pages) > s.npages {
 		return fmt.Errorf("%w: load %q (%d pages) at %d into %s (%d pages)",
-			ErrOutOfRange, f.Name, len(f.Pages), at, s.name, len(s.pages))
+			ErrOutOfRange, f.Name, len(f.Pages), at, s.name, s.npages)
 	}
 	for i, c := range f.Pages {
 		p := at + i
-		pg := &s.pages[p]
+		pg := s.pageMut(p)
 		if pg.shared != nil {
 			s.hash ^= pageSig(p, pg.shared.Content)
 			pg.shared.Refs--
@@ -101,7 +101,7 @@ func (s *Space) FileResident(f *File, at int) int {
 	n := 0
 	for i, c := range f.Pages {
 		p := at + i
-		if p < 0 || p >= len(s.pages) {
+		if p < 0 || p >= s.npages {
 			continue
 		}
 		if got, err := s.Read(p); err == nil && got == c {

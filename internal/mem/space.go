@@ -75,11 +75,35 @@ type WriteResult struct {
 	Changed bool
 }
 
+// Fork-level copy-on-write: a Space spawned from a Template (SpawnFrom)
+// holds no page storage of its own at first — reads resolve against the
+// template's frozen page array, and the first write to a page privatizes
+// just that page's chunk (a fixed-size run of pages). The chunk, not the
+// whole space, is the materialization unit: a 100k-guest fleet forked from
+// one golden image pays for exactly the chunks its guests actually touch.
+const (
+	chunkShift = 8 // 256 pages = 1 MiB of modelled memory per chunk
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
 // Space is one guest-physical (or host-process) address space.
 type Space struct {
-	name  string
+	name string
+	// npages is the authoritative page count. pages (standalone) or
+	// tmpl+chunks (forked) provide the backing storage.
+	npages int
+	// pages is the flat backing array of a standalone space. It is nil for
+	// a space spawned from a Template, which starts with zero private
+	// storage and materializes chunks on first write.
 	pages []page
-	dirty *Bitmap
+	// tmpl is the frozen golden image a forked space reads through; nil
+	// for standalone spaces.
+	tmpl *Template
+	// chunks holds the privatized chunk copies of a forked space, indexed
+	// by page>>chunkShift; a nil entry means "still reading the template".
+	chunks [][]page
+	dirty  *Bitmap
 
 	// hash is an incrementally-maintained XOR of pageSig over every
 	// (index, logical content) pair, with zero pages contributing nothing —
@@ -91,6 +115,9 @@ type Space struct {
 
 	writes    uint64
 	cowBreaks uint64
+	// forkCopies counts chunks privatized from the template — the
+	// fork-level analogue of cowBreaks.
+	forkCopies uint64
 
 	// onWrite, when set, observes every completed write — the model's
 	// write-protection trap. A hypervisor that write-protects guest
@@ -104,27 +131,92 @@ type Space struct {
 func NewSpace(name string, sizeBytes int64) *Space {
 	n := int((sizeBytes + PageSize - 1) / PageSize)
 	return &Space{
-		name:  name,
-		pages: make([]page, n),
-		dirty: NewBitmap(n),
+		name:   name,
+		npages: n,
+		pages:  make([]page, n),
+		dirty:  NewBitmap(n),
 	}
+}
+
+// pageRef returns a read-only view of page p. Callers must have bounds-
+// checked p. The returned pointer may alias the shared template; it must
+// never be written through — use pageMut for mutation.
+func (s *Space) pageRef(p int) *page {
+	if s.pages != nil {
+		return &s.pages[p]
+	}
+	if s.chunks != nil {
+		if ch := s.chunks[p>>chunkShift]; ch != nil {
+			return &ch[p&chunkMask]
+		}
+	}
+	return &s.tmpl.pages[p]
+}
+
+// pageMut returns a writable pointer to page p, privatizing the enclosing
+// chunk from the template on first touch. Callers must have bounds-checked p.
+func (s *Space) pageMut(p int) *page {
+	if s.pages != nil {
+		return &s.pages[p]
+	}
+	if s.chunks == nil {
+		// First write since the fork: materialize the chunk index. Kept
+		// out of SpawnFrom so a fork is O(1) even in its bookkeeping —
+		// the index is npages/chunkSize wide, noticeable at 1 GB guests.
+		s.chunks = make([][]page, (s.npages+chunkMask)>>chunkShift)
+	}
+	ci := p >> chunkShift
+	ch := s.chunks[ci]
+	if ch == nil {
+		lo := ci << chunkShift
+		hi := lo + chunkSize
+		if hi > s.npages {
+			hi = s.npages
+		}
+		ch = make([]page, hi-lo)
+		copy(ch, s.tmpl.pages[lo:hi])
+		s.chunks[ci] = ch
+		s.forkCopies++
+	}
+	return &ch[p&chunkMask]
+}
+
+// decommissionFork detaches a forked space from its template, dropping all
+// materialized chunks after releasing their KSM refcounts. Whole-space
+// rewrites (Reset, FillRandom) call it before installing a fresh flat
+// backing array; template pages never hold shared groups, so only the
+// privatized chunks can carry refs.
+func (s *Space) decommissionFork() {
+	if s.tmpl == nil {
+		return
+	}
+	for _, ch := range s.chunks {
+		for i := range ch {
+			if ch[i].shared != nil {
+				ch[i].shared.Refs--
+			}
+		}
+	}
+	s.tmpl = nil
+	s.chunks = nil
+	s.pages = make([]page, s.npages)
 }
 
 // Name returns the space's label.
 func (s *Space) Name() string { return s.name }
 
 // NumPages returns the number of pages in the space.
-func (s *Space) NumPages() int { return len(s.pages) }
+func (s *Space) NumPages() int { return s.npages }
 
 // SizeBytes returns the space's size in bytes.
-func (s *Space) SizeBytes() int64 { return int64(len(s.pages)) * PageSize }
+func (s *Space) SizeBytes() int64 { return int64(s.npages) * PageSize }
 
 // Read returns the content of page p.
 func (s *Space) Read(p int) (Content, error) {
-	if p < 0 || p >= len(s.pages) {
-		return 0, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, len(s.pages))
+	if p < 0 || p >= s.npages {
+		return 0, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, s.npages)
 	}
-	pg := &s.pages[p]
+	pg := s.pageRef(p)
 	if pg.shared != nil {
 		return pg.shared.Content, nil
 	}
@@ -145,10 +237,10 @@ func (s *Space) MustRead(p int) Content {
 // KSM-merged, and marks the page dirty. It reports what happened so callers
 // can charge the appropriate write latency.
 func (s *Space) Write(p int, c Content) (WriteResult, error) {
-	if p < 0 || p >= len(s.pages) {
-		return WriteResult{}, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, len(s.pages))
+	if p < 0 || p >= s.npages {
+		return WriteResult{}, fmt.Errorf("%w: %s page %d of %d", ErrOutOfRange, s.name, p, s.npages)
 	}
-	pg := &s.pages[p]
+	pg := s.pageMut(p)
 	s.writes++
 	var res WriteResult
 	if pg.shared != nil {
@@ -188,28 +280,32 @@ func (s *Space) HasWriteHook() bool { return s.onWrite != nil }
 
 // MarkVolatile flags page p as too-frequently-changing for KSM to merge.
 func (s *Space) MarkVolatile(p int, v bool) error {
-	if p < 0 || p >= len(s.pages) {
+	if p < 0 || p >= s.npages {
 		return fmt.Errorf("%w: %s page %d", ErrOutOfRange, s.name, p)
 	}
-	s.pages[p].volatile = v
+	// Skip the no-op case without privatizing a template chunk.
+	if s.pageRef(p).volatile == v {
+		return nil
+	}
+	s.pageMut(p).volatile = v
 	return nil
 }
 
 // Volatile reports whether page p is flagged volatile.
 func (s *Space) Volatile(p int) bool {
-	if p < 0 || p >= len(s.pages) {
+	if p < 0 || p >= s.npages {
 		return false
 	}
-	return s.pages[p].volatile
+	return s.pageRef(p).volatile
 }
 
 // Shared reports whether page p is currently KSM-merged, and with which
 // group.
 func (s *Space) Shared(p int) (*SharedGroup, bool) {
-	if p < 0 || p >= len(s.pages) {
+	if p < 0 || p >= s.npages {
 		return nil, false
 	}
-	g := s.pages[p].shared
+	g := s.pageRef(p).shared
 	return g, g != nil
 }
 
@@ -218,21 +314,19 @@ func (s *Space) Shared(p int) (*SharedGroup, bool) {
 // pages would corrupt the guest, so this returns an error instead.
 // Only the KSM daemon calls this.
 func (s *Space) AttachShared(p int, g *SharedGroup) error {
-	if p < 0 || p >= len(s.pages) {
+	if p < 0 || p >= s.npages {
 		return fmt.Errorf("%w: %s page %d", ErrOutOfRange, s.name, p)
 	}
-	pg := &s.pages[p]
-	if pg.shared == g {
+	if s.pageRef(p).shared == g {
 		return nil
 	}
-	cur := pg.content
-	if pg.shared != nil {
-		cur = pg.shared.Content
-	}
+	// Validate against the read view before privatizing anything.
+	cur, _, _ := s.PageInfo(p)
 	if cur != g.Content {
 		return fmt.Errorf("mem: attach %s page %d: content %#x != group %#x",
 			s.name, p, cur, g.Content)
 	}
+	pg := s.pageMut(p)
 	if pg.shared != nil {
 		pg.shared.Refs--
 	}
@@ -271,8 +365,10 @@ func (s *Space) Stats() (writes, cowBreaks uint64) {
 
 // Reset returns every page to zero, detaching any KSM sharing with proper
 // refcount accounting and clearing volatility flags and the dirty log —
-// what a machine reset does to RAM contents.
+// what a machine reset does to RAM contents. A forked space detaches from
+// its template: post-reset contents owe nothing to the golden image.
 func (s *Space) Reset() {
+	s.decommissionFork()
 	for i := range s.pages {
 		if s.pages[i].shared != nil {
 			s.pages[i].shared.Refs--
@@ -290,6 +386,7 @@ func (s *Space) Reset() {
 // that are almost surely unique. The dirty log is cleared afterwards so the
 // fill itself doesn't count as guest activity.
 func (s *Space) FillRandom(rng *rand.Rand, zeroFraction float64) {
+	s.decommissionFork()
 	h := uint64(0)
 	for i := range s.pages {
 		if rng.Float64() < zeroFraction {
@@ -307,16 +404,49 @@ func (s *Space) FillRandom(rng *rand.Rand, zeroFraction float64) {
 
 // Snapshot copies out the logical contents of every page (resolving shared
 // frames). Migration uses it to verify the memory-equality invariant.
+// Loops that snapshot repeatedly should hold a buffer and call SnapshotInto.
 func (s *Space) Snapshot() []Content {
-	out := make([]Content, len(s.pages))
-	for i := range s.pages {
-		if s.pages[i].shared != nil {
-			out[i] = s.pages[i].shared.Content
-		} else {
-			out[i] = s.pages[i].content
+	return s.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot with a caller-owned buffer: dst is resized (and
+// reallocated only if its capacity is short) to hold one Content per page,
+// filled with the logical contents, and returned. A loop that reuses the
+// returned buffer snapshots without allocating.
+func (s *Space) SnapshotInto(dst []Content) []Content {
+	if cap(dst) < s.npages {
+		dst = make([]Content, s.npages)
+	}
+	dst = dst[:s.npages]
+	fill := func(pages []page, base int) {
+		for i := range pages {
+			if pages[i].shared != nil {
+				dst[base+i] = pages[i].shared.Content
+			} else {
+				dst[base+i] = pages[i].content
+			}
 		}
 	}
-	return out
+	if s.pages != nil {
+		fill(s.pages, 0)
+		return dst
+	}
+	if s.chunks == nil {
+		fill(s.tmpl.pages, 0)
+		return dst
+	}
+	for ci, ch := range s.chunks {
+		lo := ci << chunkShift
+		if ch == nil {
+			hi := lo + chunkSize
+			if hi > s.npages {
+				hi = s.npages
+			}
+			ch = s.tmpl.pages[lo:hi]
+		}
+		fill(ch, lo)
+	}
+	return dst
 }
 
 // Fingerprint hashes the first n pages of the space (clamped to its size).
@@ -369,12 +499,12 @@ func (s *Space) RangeHash(from, n int) uint64 {
 		n += from
 		from = 0
 	}
-	if from+n > len(s.pages) {
-		n = len(s.pages) - from
+	if from+n > s.npages {
+		n = s.npages - from
 	}
 	h := uint64(0)
 	for p := from; p < from+n; p++ {
-		pg := &s.pages[p]
+		pg := s.pageRef(p)
 		c := pg.content
 		if pg.shared != nil {
 			c = pg.shared.Content
@@ -396,10 +526,10 @@ func (s *Space) ContentHash() uint64 { return s.hash }
 // scan loop runs on instead of three error-path accessors per page.
 // Out-of-range pages read as a zero, unshared, non-volatile page.
 func (s *Space) PageInfo(p int) (c Content, shared, volatile bool) {
-	if p < 0 || p >= len(s.pages) {
+	if p < 0 || p >= s.npages {
 		return ZeroPage, false, false
 	}
-	pg := &s.pages[p]
+	pg := s.pageRef(p)
 	if pg.shared != nil {
 		return pg.shared.Content, true, pg.volatile
 	}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cloudskulk/internal/mem"
 )
 
 // Errors callers match on.
@@ -58,6 +60,13 @@ type Config struct {
 	// Incoming, when non-empty, launches the VM paused, listening for
 	// migration data at the given URI (e.g. "tcp:0.0.0.0:4444").
 	Incoming string
+	// MemTemplate, when set, backs guest RAM with a frozen golden image:
+	// the VM forks the template copy-on-write (mem.SpawnFrom) instead of
+	// allocating and populating pages, so creation is O(1) in guest size.
+	// The template's size must equal MemoryMB. It models `-loadvm` from a
+	// shared snapshot and is deliberately invisible to CommandLine — the
+	// recon surface shows the same flags either way.
+	MemTemplate *mem.Template
 }
 
 // DefaultConfig returns the paper's guest configuration: 1 GiB of RAM, one

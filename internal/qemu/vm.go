@@ -108,11 +108,22 @@ type VM struct {
 // the virtual network; level is the virtualization level the guest's code
 // executes at (L1 for a VM on the bare-metal host, L2 nested).
 func NewVM(eng *sim.Engine, cfg Config, model cpu.Model, level cpu.Level, endpoint string) *VM {
+	var ram *mem.Space
+	if cfg.MemTemplate != nil {
+		// Golden-image boot: fork the template copy-on-write instead of
+		// allocating pages — O(1) regardless of guest memory size. The
+		// cold-path NewSpace must not run even transiently: its page
+		// table alone is ~1.3 MB at a 128 MB image, which at 100k
+		// template guests is ~130 GB of allocator churn.
+		ram = mem.SpawnFrom(cfg.Name+".ram", cfg.MemTemplate)
+	} else {
+		ram = mem.NewSpace(cfg.Name+".ram", cfg.MemoryMB<<20)
+	}
 	vm := &VM{
 		eng:      eng,
 		cfg:      cfg.Clone(),
 		state:    StateCreated,
-		ram:      mem.NewSpace(cfg.Name+".ram", cfg.MemoryMB<<20),
+		ram:      ram,
 		vcpu:     cpu.NewVCPU(eng, model, level),
 		level:    level,
 		endpoint: endpoint,
@@ -155,9 +166,25 @@ func (v *VM) SetPID(pid int) { v.pid = pid }
 // -incoming), advancing virtual time by bootTime and populating guest RAM
 // with plausible contents: zeroFrac of pages free (zero), the rest unique.
 // An incoming VM skips RAM population — its memory arrives via migration.
+// A golden-image boot (MemTemplate fork) charges no boot time: it models
+// `-loadvm` from an already-warm shared snapshot, an instant restore — and
+// that instantaneity is load-bearing for the sharded world, where a boot
+// inside an event handler must never advance the clock past the shard's
+// granted synchronization window.
 func (v *VM) Boot(bootTime time.Duration, rng *rand.Rand, zeroFrac float64) error {
 	if v.state != StateCreated {
 		return fmt.Errorf("%w: boot from %v", ErrBadState, v.state)
+	}
+	if v.cfg.MemTemplate != nil && v.ram.Forked() {
+		// Golden-image boot: RAM already is the template contents, shared
+		// copy-on-write with every sibling guest. No boot-time advance, no
+		// page population, and — deliberately — no RNG draw, so template
+		// boots leave the engine's clock and random stream exactly where
+		// they were. After a Reset the fork is gone and the normal cold
+		// path below runs.
+		v.bootedAt = v.eng.Now()
+		v.state = StateRunning
+		return nil
 	}
 	v.eng.Advance(bootTime)
 	v.bootedAt = v.eng.Now()

@@ -46,6 +46,10 @@ type World struct {
 	// deep-nest RAM copy) — the strategy's memory-side cost.
 	atkWrites uint64
 	installed bool
+
+	// snapBuf is reused across re-nesting RAM copies (mem.SnapshotInto),
+	// so repeated deep-nest moves do not regrow the heap.
+	snapBuf []mem.Content
 }
 
 // newWorld builds a cell's testbed: the experiments package's cloud (host,
@@ -248,7 +252,8 @@ func (w *World) nestDeeper() error {
 
 	// Carry the captive guest's state over, page by page, at attacker
 	// expense, then retire the L2 copy.
-	snap := rk.Victim.RAM().Snapshot()
+	w.snapBuf = rk.Victim.RAM().SnapshotInto(w.snapBuf)
+	snap := w.snapBuf
 	for p, c := range snap {
 		if _, err := twin.RAM().Write(p, c); err != nil {
 			return fmt.Errorf("scenario: twin copy: %w", err)

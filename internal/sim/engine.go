@@ -257,6 +257,47 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 }
 
+// RunBefore fires events with timestamps strictly < t, then sets the clock
+// to t. It is the conservative-synchronization primitive: a shard granted
+// the window [now, horizon) may fire everything before the horizon but must
+// leave events at exactly the horizon queued, because a neighbouring shard
+// is still allowed to inject traffic at that instant.
+func (e *Engine) RunBefore(t time.Duration) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			e.pop()
+			e.ncancelled--
+			e.recycle(next)
+			continue
+		}
+		if next.at >= t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// NextEventAt returns the timestamp of the earliest pending (non-cancelled)
+// event, reaping any cancelled events it skips over on the way. The second
+// result is false when the queue is empty. Shard coordinators use it to
+// compute the fleet-wide minimum next-event time each synchronization round.
+func (e *Engine) NextEventAt() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if !next.cancelled {
+			return next.at, true
+		}
+		e.pop()
+		e.ncancelled--
+		e.recycle(next)
+	}
+	return 0, false
+}
+
 // RunFor advances the simulation by d of virtual time.
 func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now + d)

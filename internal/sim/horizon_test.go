@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunBeforeExclusive: RunBefore(t) fires strictly-earlier events, leaves
+// events at exactly t queued, and parks the clock at t.
+func TestRunBeforeExclusive(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	e.Schedule(5*time.Millisecond, "early", func() { fired = append(fired, "early") })
+	e.Schedule(10*time.Millisecond, "edge", func() { fired = append(fired, "edge") })
+	e.Schedule(15*time.Millisecond, "late", func() { fired = append(fired, "late") })
+
+	e.RunBefore(10 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "early" {
+		t.Fatalf("fired %v, want [early]", fired)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("clock at %v, want 10ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (edge + late)", e.Pending())
+	}
+	// The horizon event is still eligible for the next window.
+	e.RunBefore(10*time.Millisecond + 1)
+	if len(fired) != 2 || fired[1] != "edge" {
+		t.Fatalf("fired %v, want [early edge]", fired)
+	}
+	// RunBefore never moves the clock backwards.
+	e.RunBefore(1 * time.Millisecond)
+	if e.Now() != 10*time.Millisecond+1 {
+		t.Fatalf("clock moved backwards to %v", e.Now())
+	}
+}
+
+// TestRunBeforeCascade: an event that schedules a follow-up inside the
+// window gets that follow-up fired in the same call.
+func TestRunBeforeCascade(t *testing.T) {
+	e := NewEngine(1)
+	var got []time.Duration
+	e.Schedule(1*time.Millisecond, "a", func() {
+		got = append(got, e.Now())
+		e.Schedule(1*time.Millisecond, "b", func() { got = append(got, e.Now()) })
+		e.Schedule(100*time.Millisecond, "far", func() { got = append(got, e.Now()) })
+	})
+	e.RunBefore(5 * time.Millisecond)
+	if len(got) != 2 || got[0] != 1*time.Millisecond || got[1] != 2*time.Millisecond {
+		t.Fatalf("fired at %v, want [1ms 2ms]", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (the far event)", e.Pending())
+	}
+}
+
+// TestNextEventAt: peeks the earliest live timestamp, skipping and reaping
+// cancelled heap heads without firing anything.
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	h1 := e.Schedule(2*time.Millisecond, "dead", func() {})
+	e.Schedule(3*time.Millisecond, "live", func() {})
+	e.Cancel(h1)
+	at, ok := e.NextEventAt()
+	if !ok || at != 3*time.Millisecond {
+		t.Fatalf("NextEventAt = %v,%v, want 3ms,true", at, ok)
+	}
+	if e.Pending() != 1 || e.Steps() != 0 {
+		t.Fatalf("peek disturbed the engine: pending=%d steps=%d", e.Pending(), e.Steps())
+	}
+	// Peek is stable: asking again returns the same answer.
+	if at2, ok2 := e.NextEventAt(); at2 != at || !ok2 {
+		t.Fatalf("second peek = %v,%v", at2, ok2)
+	}
+}
