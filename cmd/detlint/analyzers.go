@@ -11,6 +11,24 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+
+	// File is the module-relative (slash-separated) path of Pos.Filename,
+	// filled by the pipeline once the module root is known. It is what
+	// machine-readable reports and stable IDs are keyed on: absolute
+	// paths would make the baseline host-specific.
+	File string
+	// ID is the stable fingerprint of the finding (rule + file + source
+	// line text + occurrence ordinal), independent of line numbers so
+	// unrelated edits above a grandfathered finding do not churn the
+	// baseline. Filled by assignFindingIDs.
+	ID string
+	// Chain is the call chain for call-graph findings (caller first,
+	// primitive last); empty for single-function findings.
+	Chain []string
+	// Baselined marks a finding whose ID is grandfathered in the
+	// committed baseline: reported in machine output, excluded from the
+	// exit-status decision.
+	Baselined bool
 }
 
 // Pass is one analyzer's view of one type-checked package.
@@ -21,11 +39,16 @@ type Pass struct {
 	report func(pos token.Pos, rule, msg string)
 }
 
-// Analyzer is one determinism rule.
+// Analyzer is one determinism rule. A rule can have a per-package pass
+// (Run), a whole-module call-graph pass (RunModule), or both: wallclock
+// flags direct host-clock reads package by package and then walks the
+// call graph for sim-facing code that reaches the clock through helper
+// packages a single-package scan cannot see.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Pass)
+	Name      string
+	Doc       string
+	Run       func(p *Pass)
+	RunModule func(mc *moduleCtx)
 }
 
 // analyzers lists every rule, in the order findings are attributed.
@@ -35,6 +58,10 @@ var analyzers = []*Analyzer{
 	maporderAnalyzer,
 	goroutineAnalyzer,
 	floatsumAnalyzer,
+	horizonAnalyzer,
+	seedflowAnalyzer,
+	hotpathAnalyzer,
+	errwrapAnalyzer,
 }
 
 func analyzerByName(name string) *Analyzer {

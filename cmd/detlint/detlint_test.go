@@ -90,17 +90,121 @@ func TestFixtureFindings(t *testing.T) {
 	}
 }
 
-// TestEveryRuleFiresInFixture guards the fixture itself: a rule whose
-// demonstration rotted away would otherwise pass vacuously.
+// loadXmod loads the miniature two-layer module under testdata/xmod —
+// a second module whose internal/ layout mirrors the real tree, so the
+// call-graph rules (which match package paths by module-relative
+// suffix) run their real logic against it.
+func loadXmod(t *testing.T) *Module {
+	t.Helper()
+	mod, err := loadModule(filepath.Join("testdata", "xmod"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mod.Errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return mod
+}
+
+// xmodFindings runs the full v2 pipeline over the xmod module.
+func xmodFindings(t *testing.T, workers int) []Finding {
+	t.Helper()
+	findings, err := lintModule(loadXmod(t), defaultScopes, analyzers, true, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestXmodGraphFindings proves the call graph propagates across package
+// boundaries: the transitive-wallclock chain and both horizon shapes
+// (named-method handler and literal handler) fire exactly where the
+// WANT markers say, and nowhere else.
+func TestXmodGraphFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a second module")
+	}
+	mod := loadXmod(t)
+	findings, err := lintModule(mod, defaultScopes, analyzers, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)]++
+	}
+	want := map[string]int{}
+	for _, pkg := range mod.Pkgs {
+		for k, n := range wantMarkers(t, mod.Fset, pkg.Files) {
+			want[k] += n
+		}
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("expected %d finding(s) at %s, got %d", n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected finding at %s (x%d)", k, n)
+		}
+	}
+	// The transitive chain must be recorded on the finding for machine
+	// output, and its last hop must name the clock primitive.
+	for _, f := range findings {
+		if f.Rule == "wallclock" {
+			if len(f.Chain) < 3 || f.Chain[len(f.Chain)-1] != "time.Now" {
+				t.Errorf("wallclock chain = %v, want root → helper → time.Now", f.Chain)
+			}
+		}
+	}
+}
+
+// TestWorkersByteIdentical pins the parallel-analysis determinism
+// contract: the rendered report is byte-identical at any worker count.
+func TestWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a second module")
+	}
+	render := func(findings []Finding) string {
+		var sb strings.Builder
+		if err := writeReport(&sb, "json", "xmod", analyzers, findings); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	one := render(xmodFindings(t, 1))
+	eight := render(xmodFindings(t, 8))
+	if one != eight {
+		t.Fatalf("report differs between workers=1 and workers=8:\n%s\n---\n%s", one, eight)
+	}
+}
+
+// TestEveryRuleFiresInFixture guards the fixtures themselves: a rule
+// whose demonstration rotted away would otherwise pass vacuously. The
+// single-package fixture covers the intra-package rules; the xmod
+// module covers the call-graph rules (horizon fires nowhere in a single
+// package by construction).
 func TestEveryRuleFiresInFixture(t *testing.T) {
 	fset, pkg := loadFixture(t)
 	fired := map[string]bool{}
 	for _, f := range lintPackage(fset, pkg, analyzers, true) {
 		fired[f.Rule] = true
 	}
+	if !testing.Short() {
+		for _, f := range xmodFindings(t, 1) {
+			fired[f.Rule] = true
+		}
+	}
 	for _, a := range analyzers {
+		if a.Name == "horizon" && testing.Short() {
+			continue // only demonstrable cross-package; covered by xmod
+		}
 		if !fired[a.Name] {
-			t.Errorf("rule %s fires nowhere in the fixture", a.Name)
+			t.Errorf("rule %s fires nowhere in the fixtures", a.Name)
 		}
 	}
 	if !fired["detlint"] {

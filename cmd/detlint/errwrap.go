@@ -1,0 +1,211 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errwrapAnalyzer protects the typed-error taxonomy every internal/
+// package leans on (runner.ErrCellFailed, fleet.ErrMigrationFailed, the
+// controlplane quota/admission rejects, hv.ErrUnknownBackend, ...).
+// Those sentinels only work if causes stay reachable through the wrap
+// chain and comparisons go through errors.Is:
+//
+//   - fmt.Errorf("...: %v", err) flattens the cause into text — every
+//     errors.Is upstream silently starts returning false. Error-typed
+//     arguments must be wrapped with %w.
+//   - err1 == err2 compares one link of the chain, not the chain;
+//     errors.Is is the comparison the taxonomy is built for. (The
+//     x.Is(target) method implementations errors.Is itself calls are the
+//     one place identity comparison is the point, and stay legal.)
+//   - matching on err.Error() text couples callers to message wording —
+//     string comparisons and strings.Contains/HasPrefix/HasSuffix on an
+//     error's text are reported. Rendering an error into a message stays
+//     legal; deciding on the rendered text does not.
+//
+// Scoped to internal/: command front-ends print errors for humans, the
+// library layers route them for machines.
+var errwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w wrapping and errors.Is for sentinel errors in internal/ packages",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if isErrorsIsMethod(p, n) {
+						return false // identity comparison is this method's job
+					}
+				case *ast.CallExpr:
+					p.checkErrorfWrap(n)
+					p.checkErrorTextMatch(n)
+				case *ast.BinaryExpr:
+					p.checkErrorCompare(n)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isErrorsIsMethod matches the conventional Is(error) bool method that
+// errors.Is dispatches to.
+func isErrorsIsMethod(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil || fd.Type.Params.NumFields() != 1 {
+		return false
+	}
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value to a
+// verb other than %w.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.pkgPathOf(sel.X) != "fmt" || sel.Sel.Name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constStringVal(p, call.Args[0])
+	if !ok || strings.Contains(format, "%[") {
+		return // dynamic or indexed format: out of this rule's depth
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if !isErrorType(p.typeOf(arg)) || i >= len(verbs) {
+			continue
+		}
+		if verbs[i] != 'w' {
+			p.report(arg.Pos(), "errwrap",
+				"error wrapped with %"+string(verbs[i])+" loses the cause chain; use %w so errors.Is keeps working")
+		}
+	}
+}
+
+// checkErrorCompare flags ==/!= between two error values (nil excluded).
+func (p *Pass) checkErrorCompare(bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if isNilExpr(p, bin.X) || isNilExpr(p, bin.Y) {
+		return
+	}
+	if isErrorType(p.typeOf(bin.X)) && isErrorType(p.typeOf(bin.Y)) {
+		p.report(bin.OpPos, "errwrap",
+			"direct error comparison misses wrapped causes; compare with errors.Is")
+		return
+	}
+	// err.Error() == "..." (either side): matching on rendered text.
+	if isErrorTextCall(p, bin.X) || isErrorTextCall(p, bin.Y) {
+		p.report(bin.OpPos, "errwrap",
+			"comparing err.Error() text couples the caller to message wording; compare sentinels with errors.Is")
+	}
+}
+
+// errTextMatchers are the strings functions that turn error text into a
+// control-flow decision.
+var errTextMatchers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true, "EqualFold": true, "Index": true,
+}
+
+// checkErrorTextMatch flags strings.Contains/HasPrefix/... applied to an
+// error's rendered text.
+func (p *Pass) checkErrorTextMatch(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.pkgPathOf(sel.X) != "strings" || !errTextMatchers[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(p, arg) {
+			p.report(arg.Pos(), "errwrap",
+				"strings."+sel.Sel.Name+" on err.Error() matches message wording; compare sentinels with errors.Is")
+			return
+		}
+	}
+}
+
+// isErrorTextCall matches x.Error() where x is an error.
+func isErrorTextCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(p.typeOf(sel.X))
+}
+
+// isErrorType reports whether t implements the error interface. Nil
+// types and the untyped nil are not errors.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.objectOf(id).(*types.Nil)
+	return isNil
+}
+
+// constStringVal extracts a compile-time constant string.
+func constStringVal(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format. Flags, width, and precision are
+// skipped; "%%" consumes no argument; "*" (dynamic width) consumes one.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // %%: literal percent
+			}
+			if c == '*' {
+				verbs = append(verbs, '*') // width argument
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+				c == ' ' || c == '#' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

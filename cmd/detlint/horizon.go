@@ -1,0 +1,23 @@
+package main
+
+// horizonAnalyzer is the DESIGN.md §16 "handlers must never Advance"
+// contract in static form. A shard event handler — a callback registered
+// through shard.Shard.OnDeliver, or scheduled on an engine from inside
+// internal/shard — runs while its shard holds a bounded synchronization
+// grant [now, horizon). Calling a sim.Engine clock-control primitive
+// (Advance, Run, RunUntil, RunBefore, RunFor, Step) from inside one
+// moves the shard past its grant mid-round, desynchronizing the world in
+// a way only a seed-dependent golden mismatch would later reveal.
+//
+// The rule is pure call-graph analysis: it has no per-package pass, and
+// it follows chains through any module package (handler work fans out
+// into fleet, controlplane, qemu, ...). A statically-reachable primitive
+// behind a dynamic guard — the golden-image boot path that returns
+// before Advance is the canonical example — is still reported; the
+// justified-allow directive at the handler's call site is exactly where
+// that guard's soundness argument belongs.
+var horizonAnalyzer = &Analyzer{
+	Name:      "horizon",
+	Doc:       "forbid sim.Engine clock control reachable from shard event handlers",
+	RunModule: horizonModulePass,
+}

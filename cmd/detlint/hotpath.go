@@ -1,0 +1,230 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathPrefix annotates a function as allocation-free by contract:
+//
+//	//detlint:hotpath
+//
+// in (or immediately above) the function's doc comment. The PR-4
+// overhaul made the sim kernel, the dirty-bitmap harvest, and the shard
+// exchange steady-state zero-alloc, and the benchmark gate only notices
+// a regression when someone re-runs it; this rule rejects the code
+// shapes that allocate, at lint time, in exactly the functions the
+// contract covers.
+const hotpathPrefix = "//detlint:hotpath"
+
+// hotpathAnalyzer enforces the annotation: an annotated function must
+// not contain
+//
+//   - function literals (every closure is a heap allocation once it
+//     captures, and these functions run millions of times per sweep);
+//   - map literals, make(map/chan), or new(T);
+//   - make([]T, ...) or slice/map composite literals (fresh backing
+//     arrays), or &T{...} (escapes via the pointer in almost every use
+//     this repo has);
+//   - append to a slice the function itself freshly allocated — growing
+//     a new backing array per call. Appending to a parameter, a struct
+//     field, a package variable, or a local re-sliced from one of those
+//     (buf := x.buf[:0]) is the reuse idiom the hot paths are built on
+//     and stays legal.
+//
+// Value-typed struct composites (Handle{...}, Message{...}) stay legal:
+// they live on the stack. The rule is an approximation of escape
+// analysis, deliberately conservative in what it bans — a justified
+// allow directive marks the exceptions, as everywhere else in detlint.
+var hotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating code shapes in //detlint:hotpath-annotated functions",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+					continue
+				}
+				p.checkHotpathBody(fd)
+				p.checkHotpathAppends(fd)
+			}
+		}
+	},
+}
+
+// isHotpathAnnotated reports whether the function carries the hotpath
+// contract annotation in its doc comment.
+func isHotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotpathBody reports every allocating shape in one annotated
+// function.
+func (p *Pass) checkHotpathBody(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.report(n.Pos(), "hotpath",
+				"closure in hotpath "+name+" allocates; pre-bind it once outside the hot loop")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.report(n.Pos(), "hotpath",
+						"&composite literal in hotpath "+name+" escapes to the heap; reuse a pooled object")
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.typeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.report(n.Pos(), "hotpath",
+					"map literal in hotpath "+name+" allocates; hoist the map out of the hot path")
+			case *types.Slice:
+				p.report(n.Pos(), "hotpath",
+					"slice literal in hotpath "+name+" allocates a backing array; reuse a buffer")
+			}
+		case *ast.CallExpr:
+			p.checkHotpathCall(name, n)
+		}
+		return true
+	})
+}
+
+// checkHotpathCall flags make/new allocations and appends to
+// freshly-allocated slices.
+func (p *Pass) checkHotpathCall(name string, call *ast.CallExpr) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, builtin := p.objectOf(fn).(*types.Builtin); !builtin {
+		return
+	}
+	switch fn.Name {
+	case "make":
+		what := "make"
+		if len(call.Args) > 0 {
+			if t := p.typeOf(call.Args[0]); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					what = "make(map)"
+				case *types.Slice:
+					what = "make([])"
+				case *types.Chan:
+					what = "make(chan)"
+				}
+			}
+		}
+		p.report(call.Pos(), "hotpath",
+			what+" in hotpath "+name+" allocates; hoist the allocation out of the hot path")
+	case "new":
+		p.report(call.Pos(), "hotpath",
+			"new(T) in hotpath "+name+" allocates; reuse a pooled object")
+	}
+}
+
+// checkHotpathAppends flags appends that grow storage the function
+// itself freshly allocated.
+func (p *Pass) checkHotpathAppends(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		obj, site := p.appendTarget(as)
+		if obj == nil {
+			return true
+		}
+		if p.isFreshLocalSlice(fd, obj) {
+			p.report(site.Pos(), "hotpath",
+				"append to freshly-allocated slice "+obj.Name()+" in hotpath "+name+
+					" grows a new backing array per call; append to a reused buffer (field, parameter, or buf[:0])")
+		}
+		return true
+	})
+}
+
+// isFreshLocalSlice reports whether obj is a slice variable declared
+// inside fd whose initializer freshly allocates (make, a literal, or no
+// initializer at all). A local initialized by re-slicing something that
+// already exists — buf := e.buf[:0] — is the reuse idiom and not fresh;
+// so is one initialized from a call or a parameter.
+func (p *Pass) isFreshLocalSlice(fd *ast.FuncDecl, obj types.Object) bool {
+	if obj == nil || obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return false // parameter, field, or package-level: reused storage
+	}
+	fresh := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.objectOf(id) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				fresh = freshAllocExpr(n.Rhs[i])
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, nm := range vs.Names {
+					if p.objectOf(nm) != obj {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						fresh = true // var x []T — nil slice, first append allocates
+					} else if i < len(vs.Values) {
+						fresh = freshAllocExpr(vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshAllocExpr reports whether an initializer expression freshly
+// allocates slice storage.
+func freshAllocExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+			return true
+		}
+		return false // x := f(): storage owned elsewhere
+	case *ast.SliceExpr:
+		return false // x := buf[:0]: the reuse idiom
+	default:
+		return false
+	}
+}

@@ -50,8 +50,12 @@ func loadModule(start string, includeTests bool) (*Module, error) {
 	// The source importer type-checks dependencies (stdlib and intra-
 	// module alike) from source. Disabling cgo selects the pure-Go
 	// variants of stdlib packages like net, which is all the type
-	// information the analyzers need.
+	// information the analyzers need. Module-path imports resolve through
+	// `go list`, which go/build runs in ctxt.Dir — pin it to the module
+	// root so a module other than the process's working module (the
+	// fixture module under testdata) resolves its own packages.
 	build.Default.CgoEnabled = false
+	build.Default.Dir = root
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable reporting: stable finding IDs, JSON and SARIF 2.1.0
+// encodings, and the committed baseline that lets a new rule land with
+// grandfathered findings still visible but no longer fatal.
+
+// assignFindingIDs computes each finding's stable fingerprint: FNV-1a of
+// rule, module-relative file, the violating source line's trimmed text,
+// and an occurrence ordinal (distinguishing repeated identical findings
+// in one file). Line *content* rather than line *number* keys the hash,
+// so edits elsewhere in a file do not churn a grandfathered ID; editing
+// the violating line itself re-opens the finding, which is the audit
+// property a baseline needs. Findings must already be sorted.
+func assignFindingIDs(findings []Finding, root string) {
+	lines := map[string][]string{}
+	seen := map[string]int{}
+	for i := range findings {
+		f := &findings[i]
+		text := sourceLine(lines, root, f.File, f.Pos.Line)
+		base := f.Rule + "|" + f.File + "|" + text
+		n := seen[base]
+		seen[base] = n + 1
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%d", base, n)
+		f.ID = fmt.Sprintf("DL-%016x", h.Sum64())
+	}
+}
+
+// sourceLine fetches (and caches) one trimmed line of a module file.
+func sourceLine(cache map[string][]string, root, rel string, line int) string {
+	ls, ok := cache[rel]
+	if !ok {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
+		if err == nil {
+			ls = strings.Split(string(data), "\n")
+		}
+		cache[rel] = ls
+	}
+	if line < 1 || line > len(ls) {
+		return ""
+	}
+	return strings.TrimSpace(ls[line-1])
+}
+
+// --- baseline ---
+
+// baselineEntry records one grandfathered finding with enough context to
+// audit it without re-running the linter.
+type baselineEntry struct {
+	ID   string `json:"id"`
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Note string `json:"note"`
+}
+
+// baselineFile is the committed grandfather list.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baselineName is the default baseline location at the module root.
+const baselineName = ".detlint-baseline.json"
+
+// loadBaseline reads the baseline at path; a missing file is an empty
+// baseline (explicit paths still fail loudly on other errors).
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, bf.Version)
+	}
+	ids := make(map[string]bool, len(bf.Findings))
+	for _, e := range bf.Findings {
+		ids[e.ID] = true
+	}
+	return ids, nil
+}
+
+// writeBaseline records the given findings (sorted by ID) as the new
+// grandfather list.
+func writeBaseline(path string, findings []Finding) error {
+	bf := baselineFile{Version: 1, Findings: []baselineEntry{}}
+	for _, f := range findings {
+		bf.Findings = append(bf.Findings, baselineEntry{
+			ID: f.ID, Rule: f.Rule, File: f.File, Note: f.Msg,
+		})
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool { return bf.Findings[i].ID < bf.Findings[j].ID })
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// markBaselined flags findings whose ID is grandfathered and returns how
+// many new (non-baselined) findings remain.
+func markBaselined(findings []Finding, ids map[string]bool) int {
+	fresh := 0
+	for i := range findings {
+		if ids[findings[i].ID] {
+			findings[i].Baselined = true
+		} else {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// --- JSON report ---
+
+// jsonFinding is the wire form of one finding.
+type jsonFinding struct {
+	ID        string   `json:"id"`
+	Rule      string   `json:"rule"`
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Col       int      `json:"col"`
+	Message   string   `json:"message"`
+	Chain     []string `json:"chain,omitempty"`
+	Baselined bool     `json:"baselined,omitempty"`
+}
+
+// jsonReport is the -format json document.
+type jsonReport struct {
+	Module   string        `json:"module"`
+	Rules    []string      `json:"rules"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// toJSONFinding converts a Finding.
+func toJSONFinding(f Finding) jsonFinding {
+	return jsonFinding{
+		ID: f.ID, Rule: f.Rule, File: f.File,
+		Line: f.Pos.Line, Col: f.Pos.Column,
+		Message: f.Msg, Chain: f.Chain, Baselined: f.Baselined,
+	}
+}
+
+// writeJSON emits the JSON report (sorted input order preserved).
+func writeJSON(w io.Writer, module string, enabled []*Analyzer, findings []Finding) error {
+	rep := jsonReport{Module: module, Findings: []jsonFinding{}}
+	for _, a := range enabled {
+		rep.Rules = append(rep.Rules, a.Name)
+	}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, toJSONFinding(f))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// --- SARIF 2.1.0 report ---
+
+// The minimal shape GitHub code scanning ingests: one run, one driver,
+// a rule table, results with physical locations and partialFingerprints
+// carrying the stable detlint ID. Baselined findings carry an external
+// suppression, which code scanning renders as "suppressed" rather than
+// failing the check.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string             `json:"ruleId"`
+	RuleIndex           int                `json:"ruleIndex"`
+	Level               string             `json:"level"`
+	Message             sarifText          `json:"message"`
+	Locations           []sarifLocation    `json:"locations"`
+	PartialFingerprints map[string]string  `json:"partialFingerprints"`
+	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF emits the SARIF report. The directive-hygiene pseudo-rule
+// "detlint" gets a rule-table entry too, so every result's ruleIndex
+// resolves.
+func writeSARIF(w io.Writer, enabled []*Analyzer, findings []Finding) error {
+	driver := sarifDriver{
+		Name:           "detlint",
+		InformationURI: "https://example.invalid/cloudskulk/cmd/detlint", // module-local tool; DESIGN.md §12/§17 are the docs
+	}
+	index := map[string]int{}
+	for _, a := range enabled {
+		index[a.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID: a.Name, ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	index["detlint"] = len(driver.Rules)
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID: "detlint", ShortDescription: sarifText{Text: "allow-directive hygiene"},
+	})
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		idx, ok := index[f.Rule]
+		if !ok {
+			idx = index["detlint"]
+		}
+		res := sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{"detlintFindingId/v1": f.ID},
+		}
+		if f.Baselined {
+			res.Suppressions = []sarifSuppression{{
+				Kind: "external", Justification: "grandfathered in " + baselineName,
+			}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// writeReport dispatches on format ("json" or "sarif").
+func writeReport(w io.Writer, format, module string, enabled []*Analyzer, findings []Finding) error {
+	switch format {
+	case "json":
+		return writeJSON(w, module, enabled, findings)
+	case "sarif":
+		return writeSARIF(w, enabled, findings)
+	default:
+		return fmt.Errorf("unknown report format %q (have text, json, sarif)", format)
+	}
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// sampleFindings builds a small sorted finding set against real fixture
+// files, so assignFindingIDs can read the violating source lines.
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			File: "testdata/fixture/wallclock.go", Rule: "wallclock",
+			Pos: token.Position{Filename: "testdata/fixture/wallclock.go", Line: 8, Column: 9},
+			Msg: "sample",
+		},
+		{
+			File: "testdata/fixture/errwrap.go", Rule: "errwrap",
+			Pos:   token.Position{Filename: "testdata/fixture/errwrap.go", Line: 12, Column: 5},
+			Msg:   "sample",
+			Chain: []string{"a", "b"},
+		},
+	}
+}
+
+// TestFindingIDStability pins the fingerprint contract: IDs depend on
+// rule, file, and line *text* — not line number — so a finding keeps its
+// baseline identity when unrelated lines are added above it, and loses
+// it when the violating line itself changes.
+func TestFindingIDStability(t *testing.T) {
+	root := t.TempDir()
+	write := func(content string) {
+		if err := os.WriteFile(filepath.Join(root, "v.go"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := func(line int) string {
+		fs := []Finding{{
+			File: "v.go", Rule: "wallclock", Msg: "m",
+			Pos: token.Position{Filename: "v.go", Line: line, Column: 1},
+		}}
+		assignFindingIDs(fs, root)
+		if !strings.HasPrefix(fs[0].ID, "DL-") || len(fs[0].ID) != len("DL-")+16 {
+			t.Fatalf("ID %q not in DL-%%016x form", fs[0].ID)
+		}
+		return fs[0].ID
+	}
+
+	write("package v\n\nvar t = now()\n")
+	orig := id(3)
+	write("package v\n\n// a comment pushed the line down\n\nvar t = now()\n")
+	if moved := id(5); moved != orig {
+		t.Errorf("ID churned on an unrelated edit: %s vs %s", moved, orig)
+	}
+	write("package v\n\nvar t = nowUTC()\n")
+	if edited := id(3); edited == orig {
+		t.Error("ID survived the violating line being rewritten")
+	}
+
+	// Different rule on the same line must get a different ID.
+	write("package v\n\nvar t = now()\n")
+	fs := []Finding{{
+		File: "v.go", Rule: "seedflow", Msg: "m",
+		Pos: token.Position{Filename: "v.go", Line: 3, Column: 1},
+	}}
+	assignFindingIDs(fs, root)
+	if fs[0].ID == orig {
+		t.Error("distinct rules share a finding ID")
+	}
+}
+
+// TestBaselineRoundTrip drives the grandfather workflow end to end:
+// write a baseline, load it back, and verify exactly the recorded
+// findings are marked baselined.
+func TestBaselineRoundTrip(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := sampleFindings()
+	assignFindingIDs(fs, root)
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaseline(path, fs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := markBaselined(fs, ids)
+	if fresh != 1 || !fs[0].Baselined || fs[1].Baselined {
+		t.Fatalf("fresh=%d baselined=%v,%v; want 1, true, false", fresh, fs[0].Baselined, fs[1].Baselined)
+	}
+
+	// A missing baseline is an empty baseline.
+	none, err := loadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(none) != 0 {
+		t.Fatalf("missing baseline: ids=%v err=%v", none, err)
+	}
+}
+
+// TestSARIFShape validates the GitHub code-scanning essentials of the
+// SARIF encoding: schema and version, a rule-table entry for every
+// result's ruleIndex, %SRCROOT%-relative artifact locations, the stable
+// fingerprint, and an external suppression on baselined findings.
+func TestSARIFShape(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := sampleFindings()
+	assignFindingIDs(fs, root)
+	fs[1].Baselined = true
+
+	var sb strings.Builder
+	if err := writeReport(&sb, "sarif", "cloudskulk", analyzers, fs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				Suppressions        []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Fatalf("version=%q schema=%q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "detlint" {
+		t.Fatal("expected one run driven by detlint")
+	}
+	run := doc.Runs[0]
+	if len(run.Tool.Driver.Rules) != len(analyzers)+1 {
+		t.Fatalf("rule table has %d entries, want %d (all rules + detlint)", len(run.Tool.Driver.Rules), len(analyzers)+1)
+	}
+	if len(run.Results) != len(fs) {
+		t.Fatalf("results=%d, want %d", len(run.Results), len(fs))
+	}
+	for i, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to %q", i, r.RuleIndex, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d: level %q", i, r.Level)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" || strings.HasPrefix(loc.ArtifactLocation.URI, "/") {
+			t.Errorf("result %d: artifact %q base %q not repo-relative", i, loc.ArtifactLocation.URI, loc.ArtifactLocation.URIBaseID)
+		}
+		if r.PartialFingerprints["detlintFindingId/v1"] != fs[i].ID {
+			t.Errorf("result %d: fingerprint %q, want %q", i, r.PartialFingerprints["detlintFindingId/v1"], fs[i].ID)
+		}
+	}
+	if len(run.Results[1].Suppressions) != 1 || run.Results[1].Suppressions[0].Kind != "external" {
+		t.Error("baselined finding missing external suppression")
+	}
+	if len(run.Results[0].Suppressions) != 0 {
+		t.Error("fresh finding wrongly suppressed")
+	}
+}
+
+// FuzzAllowDirective hardens the directive parser: arbitrary comment
+// text must never panic, and an accepted directive must have at least
+// one known rule and a non-empty justification.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//detlint:allow wallclock — progress timer is host-facing")
+	f.Add("//detlint:allow wallclock,goroutine -- two rules")
+	f.Add("//detlint:allow")
+	f.Add("//detlint:allow  ,, — ")
+	f.Add("//detlint:allowwallclock — glued")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := parseDirective(text)
+		if err != nil {
+			return
+		}
+		if len(d.Rules) == 0 {
+			t.Fatalf("accepted directive %q with no rules", text)
+		}
+		for _, r := range d.Rules {
+			if analyzerByName(r) == nil {
+				t.Fatalf("accepted directive %q with unknown rule %q", text, r)
+			}
+		}
+	})
+}
+
+// FuzzDetlintFindingJSON checks the machine-report encoding round-trips
+// any finding content (paths with quotes, chain arrows, control bytes).
+func FuzzDetlintFindingJSON(f *testing.F) {
+	f.Add("internal/sim/engine.go", "wallclock", "reads the host clock", 10, 4)
+	f.Add("a\"b\\c.go", "horizon", "chain → with → arrows", -1, 0)
+	f.Fuzz(func(t *testing.T, file, rule, msg string, line, col int) {
+		in := Finding{
+			File: file, Rule: rule, Msg: msg, ID: "DL-0000000000000000",
+			Pos:   token.Position{Filename: file, Line: line, Column: col},
+			Chain: []string{msg, rule},
+		}
+		data, err := json.Marshal(toJSONFinding(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out jsonFinding
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("round-trip failed for %q: %v", data, err)
+		}
+		if !utf8.ValidString(file) || !utf8.ValidString(rule) || !utf8.ValidString(msg) {
+			return // encoding/json coerces invalid UTF-8 to U+FFFD; real findings are UTF-8
+		}
+		if out.File != file || out.Rule != rule || out.Message != msg || out.Line != line || out.Col != col {
+			t.Fatalf("round-trip mutated finding: %+v -> %+v", in, out)
+		}
+	})
+}
+
+// BenchmarkDetlintFullTree measures the v2 pipeline (intra rules, graph
+// build, module passes, IDs) over the real module; loading and
+// type-checking are done once outside the loop.
+func BenchmarkDetlintFullTree(b *testing.B) {
+	mod, err := loadModule(".", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(mod.Errs) > 0 {
+		b.Fatal(mod.Errs[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, err := lintModule(mod, defaultScopes, analyzers, true, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("real tree not clean: %d findings", len(findings))
+		}
+	}
+}

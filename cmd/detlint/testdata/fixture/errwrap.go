@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errFixtureSentinel = errors.New("fixture sentinel")
+
+func errwrapViolations(err error) error {
+	if err == errFixtureSentinel { // WANT errwrap
+		return nil
+	}
+	if err.Error() == "boom" { // WANT errwrap
+		return nil
+	}
+	if strings.Contains(err.Error(), "boom") { // WANT errwrap
+		return nil
+	}
+	return fmt.Errorf("stage failed: %v", err) // WANT errwrap
+}
+
+func errwrapLegal(err error) error {
+	if err == nil { // nil comparison: legal
+		return nil
+	}
+	if errors.Is(err, errFixtureSentinel) {
+		return fmt.Errorf("sentinel path: %w", err)
+	}
+	msg := err.Error() // rendering text is legal; deciding on it is not
+	return fmt.Errorf("%s: %w", msg, err)
+}
+
+type causeError struct {
+	cause error
+}
+
+func (c *causeError) Error() string { return "cause: " + c.cause.Error() }
+
+// Is is the method errors.Is dispatches to; identity comparison is its
+// job and stays legal.
+func (c *causeError) Is(target error) bool {
+	return target == errFixtureSentinel
+}

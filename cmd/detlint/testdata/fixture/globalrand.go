@@ -14,9 +14,9 @@ func globalrandViolations() int {
 	return n
 }
 
-func globalrandSeeded() int {
-	r := rand.New(rand.NewSource(1)) // constructors: legal
-	var src rand.Source              // type reference: legal
+func globalrandSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // threaded seed: legal for globalrand and seedflow
+	var src rand.Source                 // type reference: legal
 	_ = src
 	return r.Intn(10) // method on a seeded *rand.Rand: legal
 }

@@ -1,0 +1,56 @@
+package fixture
+
+type pool struct {
+	buf  []int
+	free []*pool
+}
+
+type handle struct {
+	id, gen int
+}
+
+//detlint:hotpath
+func hotpathViolations(n int) {
+	f := func() int { return n } // WANT hotpath
+	_ = f()
+	_ = &pool{}           // WANT hotpath
+	_ = map[string]int{}  // WANT hotpath
+	_ = []int{1, 2, 3}    // WANT hotpath
+	_ = make(map[int]int) // WANT hotpath
+	_ = make([]int, 0, n) // WANT hotpath
+	_ = new(pool)         // WANT hotpath
+}
+
+//detlint:hotpath
+func hotpathAppendFresh(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // WANT hotpath
+	}
+	return out
+}
+
+//detlint:hotpath
+func hotpathReuse(p *pool, xs []int) handle {
+	buf := p.buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x) // re-sliced from a field: the reuse idiom, legal
+	}
+	p.buf = buf
+	return handle{id: len(buf), gen: 1} // value struct composite: stack, legal
+}
+
+//detlint:hotpath
+func hotpathParamAppend(buf []int, x int) []int {
+	buf = append(buf, x) // parameter-owned storage, legal
+	return buf
+}
+
+// Unannotated: every shape above is legal here.
+func coldpathAllocates(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sweepCfg struct {
+	Seed int64
+}
+
+func seedflowViolations(n int64) {
+	_ = rand.New(rand.NewSource(42))                    // WANT seedflow
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // WANT seedflow wallclock
+	_ = rand.New(rand.NewSource(n))                     // WANT seedflow
+	rand.New(rand.NewSource(1)).Seed(7)                 // WANT seedflow seedflow
+}
+
+func seedflowLegal(cfg sweepCfg, baseSeed int64, rng *rand.Rand) {
+	_ = rand.New(rand.NewSource(cfg.Seed))
+	_ = rand.New(rand.NewSource(baseSeed ^ 0x9e3779b9))
+	_ = rand.New(rand.NewSource(rng.Int63())) // a draw from a seeded generator inherits provenance
+}

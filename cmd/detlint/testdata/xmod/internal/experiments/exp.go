@@ -1,0 +1,49 @@
+// Package experiments holds the violations only whole-module analysis
+// catches: a wallclock read hidden behind a helper package, and engine
+// clock control reachable from shard event handlers.
+package experiments
+
+import (
+	"xmod/internal/shard"
+	"xmod/internal/sim"
+	"xmod/internal/stats"
+)
+
+// StampResult looks innocent package-locally; the helper it calls reads
+// the host clock.
+func StampResult() int64 {
+	return stats.HostStamp() // WANT wallclock
+}
+
+// MeanOf exercises a benign cross-package call: no finding.
+func MeanOf(xs []float64) float64 {
+	return stats.Mean(xs)
+}
+
+type Cell struct {
+	eng *sim.Engine
+}
+
+// Attach registers a named method as the delivery handler; the banned
+// primitive is two hops away from it.
+func (c *Cell) Attach(s *shard.Shard) {
+	s.OnDeliver(c.onDeliver)
+}
+
+func (c *Cell) onDeliver(m shard.Message) {
+	_ = m
+	c.catchUp() // WANT horizon
+}
+
+func (c *Cell) catchUp() {
+	c.eng.Advance(10)
+}
+
+// AttachLit registers a literal handler that calls the banned primitive
+// directly.
+func (c *Cell) AttachLit(s *shard.Shard) {
+	s.OnDeliver(func(m shard.Message) {
+		_ = m
+		c.eng.Advance(5) // WANT horizon
+	})
+}

@@ -1,0 +1,20 @@
+// Package shard mirrors the real shard surface the horizon rule keys
+// on: OnDeliver registrations make handler roots.
+package shard
+
+import "xmod/internal/sim"
+
+type Message struct {
+	Kind string
+}
+
+type Shard struct {
+	eng     *sim.Engine
+	deliver func(Message)
+}
+
+func New(eng *sim.Engine) *Shard { return &Shard{eng: eng} }
+
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+func (s *Shard) OnDeliver(fn func(Message)) { s.deliver = fn }

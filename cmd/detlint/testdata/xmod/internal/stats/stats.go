@@ -1,0 +1,21 @@
+// Package stats sits deliberately outside the sim-facing scope: the
+// transitive-wallclock fixture reaches the host clock through it, which
+// only the call-graph pass can see.
+package stats
+
+import "time"
+
+func HostStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -25,9 +25,14 @@ var wallclockBanned = map[string]bool{
 // differs run to run, so it breaks the seed→artefact function the
 // moment it reaches an artefact — and there is no legitimate reason for
 // sim code to look at the host clock: virtual time lives on the engine.
+//
+// The per-package pass catches direct reads; the module pass
+// (wallclockModulePass) walks the call graph for sim-facing code that
+// reaches the clock through helper packages outside the scope.
 var wallclockAnalyzer = &Analyzer{
-	Name: "wallclock",
-	Doc:  "forbid time.Now/Since/Sleep/... in sim-facing packages",
+	Name:      "wallclock",
+	Doc:       "forbid time.Now/Since/Sleep/... in sim-facing packages, directly or transitively",
+	RunModule: wallclockModulePass,
 	Run: func(p *Pass) {
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {

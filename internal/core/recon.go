@@ -82,13 +82,13 @@ func (r Recon) FindTarget(exclude ...string) (qemu.Config, ReconMethod, error) {
 func (r Recon) ConfigViaMonitor(port int) (qemu.Config, error) {
 	conn, err := r.Host.OpenMonitor(port)
 	if err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: %w", ErrReconFailed, err)
 	}
 	defer func() { _ = conn.Close() }()
 	mc := newMonitorClient(conn)
 	defer mc.close()
 	if _, err := mc.waitPrompt(); err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: greeting: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: greeting: %w", ErrReconFailed, err)
 	}
 
 	var cfg qemu.Config
@@ -135,14 +135,14 @@ func (r Recon) ConfigViaMonitor(port int) (qemu.Config, error) {
 func (r Recon) ConfigViaQMP(port int) (qemu.Config, error) {
 	conn, err := r.Host.OpenQMP(port)
 	if err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: %w", ErrReconFailed, err)
 	}
 	defer func() { _ = conn.Close() }()
 
 	dec := json.NewDecoder(conn)
 	var greeting qemu.QMPGreeting
 	if err := dec.Decode(&greeting); err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: greeting: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: greeting: %w", ErrReconFailed, err)
 	}
 	call := func(execute, args string) (json.RawMessage, error) {
 		cmd := qemu.QMPCommand{Execute: execute}
@@ -154,11 +154,11 @@ func (r Recon) ConfigViaQMP(port int) (qemu.Config, error) {
 			return nil, err
 		}
 		if _, err := conn.Write(append(raw, '\n')); err != nil {
-			return nil, fmt.Errorf("%w: send %s: %v", ErrReconFailed, execute, err)
+			return nil, fmt.Errorf("%w: send %s: %w", ErrReconFailed, execute, err)
 		}
 		var resp qemu.QMPResponse
 		if err := dec.Decode(&resp); err != nil {
-			return nil, fmt.Errorf("%w: read %s: %v", ErrReconFailed, execute, err)
+			return nil, fmt.Errorf("%w: read %s: %w", ErrReconFailed, execute, err)
 		}
 		if resp.Error != nil {
 			return nil, fmt.Errorf("%w: %s: %s", ErrReconFailed, execute, resp.Error.Desc)
@@ -185,7 +185,7 @@ func (r Recon) ConfigViaQMP(port int) (qemu.Config, error) {
 		Name string `json:"name"`
 	}
 	if err := json.Unmarshal(raw, &name); err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: %w", ErrReconFailed, err)
 	}
 	cfg.Name = name.Name
 
@@ -197,7 +197,7 @@ func (r Recon) ConfigViaQMP(port int) (qemu.Config, error) {
 		Base int64 `json:"base-memory"`
 	}
 	if err := json.Unmarshal(raw, &memory); err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: %w", ErrReconFailed, err)
 	}
 	cfg.MemoryMB = memory.Base >> 20
 
@@ -211,7 +211,7 @@ func (r Recon) ConfigViaQMP(port int) (qemu.Config, error) {
 		SizeMB int64  `json:"size_mb"`
 	}
 	if err := json.Unmarshal(raw, &blocks); err != nil {
-		return qemu.Config{}, fmt.Errorf("%w: %v", ErrReconFailed, err)
+		return qemu.Config{}, fmt.Errorf("%w: %w", ErrReconFailed, err)
 	}
 	for _, b := range blocks {
 		cfg.Drives = append(cfg.Drives, qemu.Drive{
@@ -253,11 +253,11 @@ func (m *monitorClient) waitPrompt() (string, error) {
 // command sends one line and returns its output.
 func (m *monitorClient) command(line string) (string, error) {
 	if _, err := fmt.Fprintf(m.conn, "%s\n", line); err != nil {
-		return "", fmt.Errorf("%w: send %q: %v", ErrReconFailed, line, err)
+		return "", fmt.Errorf("%w: send %q: %w", ErrReconFailed, line, err)
 	}
 	out, err := m.waitPrompt()
 	if err != nil {
-		return "", fmt.Errorf("%w: read %q: %v", ErrReconFailed, line, err)
+		return "", fmt.Errorf("%w: read %q: %w", ErrReconFailed, line, err)
 	}
 	return out, nil
 }

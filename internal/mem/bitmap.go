@@ -39,6 +39,8 @@ func (b *Bitmap) Len() int { return b.n }
 func (b *Bitmap) Count() int { return b.set }
 
 // Test reports whether bit i is set. Out-of-range bits read as clear.
+//
+//detlint:hotpath
 func (b *Bitmap) Test(i int) bool {
 	if i < 0 || i >= b.n || b.words == nil {
 		return false
@@ -47,6 +49,8 @@ func (b *Bitmap) Test(i int) bool {
 }
 
 // Set sets bit i. Out-of-range indices are ignored.
+//
+//detlint:hotpath
 func (b *Bitmap) Set(i int) {
 	if i < 0 || i >= b.n {
 		return
@@ -60,6 +64,8 @@ func (b *Bitmap) Set(i int) {
 }
 
 // Clear clears bit i. Out-of-range indices are ignored.
+//
+//detlint:hotpath
 func (b *Bitmap) Clear(i int) {
 	if i < 0 || i >= b.n || b.words == nil {
 		return
@@ -72,6 +78,8 @@ func (b *Bitmap) Clear(i int) {
 }
 
 // ClearAll clears every bit.
+//
+//detlint:hotpath
 func (b *Bitmap) ClearAll() {
 	for i := range b.words {
 		b.words[i] = 0
@@ -80,6 +88,8 @@ func (b *Bitmap) ClearAll() {
 }
 
 // SetAll sets every bit, filling whole words at a time.
+//
+//detlint:hotpath
 func (b *Bitmap) SetAll() {
 	if b.n == 0 {
 		return
@@ -97,6 +107,8 @@ func (b *Bitmap) SetAll() {
 // NextSetFrom returns the index of the first set bit at or after i, or -1
 // if none remain. It skips all-zero words, so sparse scans cost O(words)
 // rather than O(bits).
+//
+//detlint:hotpath
 func (b *Bitmap) NextSetFrom(i int) int {
 	if i < 0 {
 		i = 0
@@ -117,6 +129,8 @@ func (b *Bitmap) NextSetFrom(i int) int {
 }
 
 // ForEach invokes fn for every set bit, in ascending order.
+//
+//detlint:hotpath
 func (b *Bitmap) ForEach(fn func(i int)) {
 	for wi, w := range b.words {
 		for w != 0 {
@@ -143,6 +157,8 @@ func (b *Bitmap) Drain(max int) []int {
 // no limit. All-zero words are skipped in one comparison and cleared bits
 // are folded back a word at a time, so a drain touches each word at most
 // twice and allocates nothing when buf has capacity.
+//
+//detlint:hotpath
 func (b *Bitmap) DrainInto(buf []int, max int) []int {
 	if max <= 0 || max > b.set {
 		max = b.set

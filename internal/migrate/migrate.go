@@ -291,7 +291,7 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 	}
 	if err := vm.Config().MatchesForMigration(dst.Config()); err != nil {
 		vm.SetMigrationInfo(qemu.MigrationInfo{Status: "failed"})
-		return fmt.Errorf("%w: %v", ErrConfigMismatch, err)
+		return fmt.Errorf("%w: %w", ErrConfigMismatch, err)
 	}
 
 	e.active[vm] = true
@@ -332,7 +332,7 @@ func (e *Engine) MigrateTo(vm *qemu.VM, target vnet.Addr) error {
 		// for stop-and-copy or throttling, it resumes.
 		if wasRunning && vm.State() == qemu.StatePaused {
 			if rerr := vm.Resume(); rerr != nil {
-				return fmt.Errorf("%w (and resume failed: %v)", err, rerr)
+				return fmt.Errorf("%w (and resume failed: %w)", err, rerr)
 			}
 		}
 		return err

@@ -230,7 +230,7 @@ func Parse(wire string) (Spec, error) {
 			err = fmt.Errorf("unknown field %q", key)
 		}
 		if err != nil {
-			return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			return Spec{}, fmt.Errorf("%w: %w", ErrBadSpec, err)
 		}
 	}
 	if !seen["kind"] {

@@ -341,6 +341,10 @@ func (c *Cell) onDeliver(m Message) {
 		c.fail(fmt.Errorf("migrate in %s: %w", stream.name, err))
 		return
 	}
+	// StartGuestFrom statically reaches VM.Boot → Engine.Advance, but a
+	// template fork takes the golden-image fast path, which returns
+	// before the Advance: the clock never moves inside this handler.
+	//detlint:allow horizon — template forks take the golden-image fast path in VM.Boot and return before Engine.Advance
 	vm, err := c.Fleet.StartGuestFrom(host, stream.name, c.Template)
 	if err != nil {
 		c.fail(fmt.Errorf("migrate in %s: %w", stream.name, err))

@@ -82,6 +82,8 @@ func (s *Shard) OnDeliver(fn func(Message)) { s.deliver = fn }
 // is a modelling bug (an interaction faster than the inter-shard link)
 // and panics. Sending to the own shard is equally a bug: local effects
 // belong on the local engine.
+//
+//detlint:hotpath
 func (s *Shard) Send(to int, delay time.Duration, kind string, data any) {
 	if delay < s.w.lookahead {
 		panic(fmt.Sprintf("shard %d: send %q delay %v violates lookahead %v",
@@ -234,6 +236,8 @@ func stepShard(s *Shard, horizon, t time.Duration) {
 // canonical (At, From, Seq) order, and schedules each message's delivery
 // on its destination engine. Destination clocks are at or before every
 // At (the lookahead rule), so no message lands in a shard's past.
+//
+//detlint:hotpath
 func (w *World) exchangeRound() {
 	batch := w.exchange[:0]
 	for _, s := range w.shards {
@@ -258,6 +262,7 @@ func (w *World) exchangeRound() {
 	for _, m := range batch {
 		m := m
 		dst := w.shards[m.To]
+		//detlint:allow hotpath — one closure per cross-shard message is the delivery contract; rounds carry few messages by the lookahead design
 		dst.eng.ScheduleAt(m.At, m.Kind, func() {
 			if dst.deliver != nil {
 				dst.deliver(m)

@@ -51,6 +51,8 @@ func (e *Engine) Now() time.Duration {
 
 // Steps returns the number of events fired so far. Useful for loop guards
 // and for asserting deterministic replay in tests.
+//
+//detlint:hotpath
 func (e *Engine) Steps() uint64 {
 	return e.nsteps
 }
@@ -120,6 +122,8 @@ func (h Handle) At() time.Duration {
 }
 
 // alloc takes an event off the free list, or mints one if the pool is dry.
+//
+//detlint:hotpath
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -127,12 +131,15 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
+	//detlint:allow hotpath — pool-dry mint path; amortized to zero once the free list warms up
 	return &Event{}
 }
 
 // recycle retires an event to the free list. Bumping gen first severs every
 // outstanding Handle; clearing fn/name drops references the pool must not
 // pin.
+//
+//detlint:hotpath
 func (e *Engine) recycle(ev *Event) {
 	ev.gen++
 	ev.fn = nil
@@ -144,6 +151,8 @@ func (e *Engine) recycle(ev *Event) {
 // Schedule enqueues fn to run after delay of virtual time. A negative delay
 // is treated as zero (fire as soon as the event loop resumes). Events
 // scheduled for the same instant fire in scheduling order.
+//
+//detlint:hotpath
 func (e *Engine) Schedule(delay time.Duration, name string, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
@@ -160,6 +169,8 @@ func (e *Engine) Schedule(delay time.Duration, name string, fn func()) Handle {
 
 // ScheduleAt enqueues fn at an absolute virtual time. Times in the past are
 // clamped to now.
+//
+//detlint:hotpath
 func (e *Engine) ScheduleAt(at time.Duration, name string, fn func()) Handle {
 	return e.Schedule(at-e.now, name, fn)
 }
@@ -168,6 +179,8 @@ func (e *Engine) ScheduleAt(at time.Duration, name string, fn func()) Handle {
 // and is reaped when it reaches the top (or at the next compaction), which
 // keeps Cancel O(1). Cancelling an already-fired, already-cancelled, or
 // zero Handle is a no-op.
+//
+//detlint:hotpath
 func (e *Engine) Cancel(h Handle) {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.cancelled {
@@ -183,6 +196,8 @@ func (e *Engine) Cancel(h Handle) {
 // compact filters cancelled events out of the queue and re-heapifies.
 // Heap order is re-derived from the total (at, seq) comparator, so pop
 // order — and therefore the simulation — is unaffected.
+//
+//detlint:hotpath
 func (e *Engine) compact() {
 	live := e.queue[:0]
 	for _, ev := range e.queue {
@@ -204,6 +219,8 @@ func (e *Engine) compact() {
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event fired (false means the queue was empty).
+//
+//detlint:hotpath
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := e.pop()
@@ -329,11 +346,13 @@ func less(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+//detlint:hotpath
 func (e *Engine) push(ev *Event) {
 	e.queue = append(e.queue, ev)
 	e.siftUp(len(e.queue) - 1)
 }
 
+//detlint:hotpath
 func (e *Engine) pop() *Event {
 	q := e.queue
 	ev := q[0]
@@ -347,6 +366,7 @@ func (e *Engine) pop() *Event {
 	return ev
 }
 
+//detlint:hotpath
 func (e *Engine) siftUp(i int) {
 	q := e.queue
 	ev := q[i]
@@ -361,6 +381,7 @@ func (e *Engine) siftUp(i int) {
 	q[i] = ev
 }
 
+//detlint:hotpath
 func (e *Engine) siftDown(i int) {
 	q := e.queue
 	n := len(q)

@@ -212,7 +212,7 @@ func (m *Manager) Define(def DomainDef) (*Domain, error) {
 func (m *Manager) DefineJSON(data []byte) (*Domain, error) {
 	var def DomainDef
 	if err := json.Unmarshal(data, &def); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDefinition, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadDefinition, err)
 	}
 	return m.Define(def)
 }

@@ -145,7 +145,7 @@ func (n *Network) DialStream(local, to Addr) (*StreamConn, error) {
 	syn := &Packet{From: local, To: to, Payload: encodeSegment(segSYN, c.id, nil)}
 	if err := n.Send(syn); err != nil {
 		n.Unlisten(local)
-		return nil, fmt.Errorf("%w: %v", ErrStreamBroken, err)
+		return nil, fmt.Errorf("%w: %w", ErrStreamBroken, err)
 	}
 	return c, nil
 }
@@ -198,7 +198,7 @@ func (c *StreamConn) Write(data []byte) error {
 			Payload: encodeSegment(segDAT, c.id, data[:n]),
 		}
 		if err := c.net.Send(seg); err != nil {
-			return fmt.Errorf("%w: %v", ErrStreamBroken, err)
+			return fmt.Errorf("%w: %w", ErrStreamBroken, err)
 		}
 		data = data[n:]
 	}
@@ -225,7 +225,7 @@ func (c *StreamConn) Close() error {
 	err := c.net.Send(fin)
 	c.net.Unlisten(c.local)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrStreamBroken, err)
+		return fmt.Errorf("%w: %w", ErrStreamBroken, err)
 	}
 	return nil
 }
